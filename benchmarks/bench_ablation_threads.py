@@ -1,0 +1,33 @@
+"""Ablation: the paper's 64/256 thread-count rule vs an autotuned sweep.
+
+The tuner replays every feasible square thread count.  Below the
+80-column switch the paper's choice (64 threads) is exactly the tuned
+optimum.  Above it our spill model keeps 64 threads competitive, where
+the paper's silicon favoured 256 -- the per-access spill cost here does
+not grow with occupancy (spilled traffic contending for DRAM), which is
+the documented fidelity limit of the engine's spill model.
+"""
+
+from repro.approaches import Workload
+from repro.approaches.tuning import tune_block_threads
+from repro.model.block_config import block_config
+
+
+def _sweep():
+    return {
+        n: tune_block_threads(Workload.square("qr", n, 8000))
+        for n in (32, 48, 56, 64, 96, 128)
+    }
+
+
+def test_thread_count_ablation(benchmark):
+    tuned = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+    for n in (32, 48, 56, 64):
+        assert tuned[n].threads == 64, n  # the paper's rule, rediscovered
+    for n in (96, 128):
+        # The paper's rule picks 256 here; it must stay within 2.5x of
+        # the tuned optimum under our cost model.
+        paper_choice = block_config(n, n).threads
+        paper_gflops = tuned[n].candidates[paper_choice]
+        assert paper_gflops > tuned[n].gflops / 2.5, n
+    benchmark.extra_info["tuned_threads"] = {n: t.threads for n, t in tuned.items()}

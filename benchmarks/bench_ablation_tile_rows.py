@@ -1,0 +1,35 @@
+"""Ablation: tile-height choice for the tiled QR (the 240x66 STAP case).
+
+The tuner prices every candidate height with the per-block charge replay;
+this bench sweeps the candidates explicitly and checks the tuner's pick
+is within a few percent of the sweep's optimum -- and that the choice
+matters (worst/best spread well above the noise).
+"""
+
+import numpy as np
+
+from repro.gpu import QUADRO_6000
+from repro.kernels.batched import random_batch
+from repro.tiled import choose_tile_rows, tiled_qr
+
+
+def _sweep():
+    a = random_batch(1, 240, 66, dtype=np.complex64, seed=0)
+    results = {}
+    for rows in (66, 80, 96, 112, 128, 146, 160, 192, 240):
+        res = tiled_qr(a, tile_rows=rows)
+        results[rows] = res.seconds
+    return results
+
+
+def test_tile_rows_ablation(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+    best_rows = min(results, key=results.get)
+    tuned = choose_tile_rows(240, 66, True, QUADRO_6000)
+    a = random_batch(1, 240, 66, dtype=np.complex64, seed=0)
+    tuned_seconds = tiled_qr(a, tile_rows=tuned).seconds
+    assert tuned_seconds <= results[best_rows] * 1.05
+    # The knob matters: worst choice is substantially slower than best.
+    assert max(results.values()) > 1.2 * min(results.values())
+    benchmark.extra_info["tuned_rows"] = tuned
+    benchmark.extra_info["sweep_best_rows"] = best_rows

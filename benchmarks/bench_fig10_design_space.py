@@ -1,0 +1,15 @@
+"""Figure 10: the three approaches across problem sizes 2..8192."""
+
+import math
+
+
+def test_fig10_design_space(regenerate, benchmark):
+    res = regenerate("fig10")
+    ns = res.data["n"]
+    i8, i64, i8192 = ns.index(8), ns.index(64), ns.index(8192)
+    for kind in ("qr", "lu"):
+        assert res.data[f"{kind}_per_thread"][i8] > res.data[f"{kind}_per_block"][i8]
+        assert res.data[f"{kind}_per_block"][i64] > res.data[f"{kind}_hybrid"][i64]
+        assert res.data[f"{kind}_hybrid"][i8192] > 100
+        assert math.isnan(res.data[f"{kind}_per_thread"][i8192])
+    benchmark.extra_info["qr_hybrid_8192"] = res.data["qr_hybrid"][i8192]

@@ -1,0 +1,21 @@
+"""Figure 11: one-problem-per-block vs Intel MKL and MAGMA."""
+
+
+def test_fig11_mkl_magma(regenerate, benchmark):
+    res = regenerate("fig11")
+    ns = res.data["n"]
+    for kind in ("qr", "lu"):
+        for i, n in enumerate(ns):
+            assert res.data[f"{kind}_per_block"][i] > res.data[f"{kind}_mkl"][i], n
+            assert (
+                res.data[f"{kind}_per_block"][i]
+                > res.data[f"{kind}_magma_gpu_start"][i]
+            ), n
+        # Small problems: MAGMA runs on the CPU; CPU-start avoids PCIe.
+        assert res.data[f"{kind}_magma_cpu_start"][0] > res.data[
+            f"{kind}_magma_gpu_start"
+        ][0]
+    i56 = ns.index(56)
+    speedup = res.data["qr_per_block"][i56] / res.data["qr_mkl"][i56]
+    assert 15 < speedup < 45  # the paper's 29x headline band
+    benchmark.extra_info["qr56_speedup_vs_mkl"] = speedup

@@ -1,0 +1,11 @@
+"""Figure 12: solving linear systems (QR solve + Gauss-Jordan) vs MKL."""
+
+
+def test_fig12_solvers(regenerate, benchmark):
+    res = regenerate("fig12")
+    for i, n in enumerate(res.data["n"]):
+        assert res.data["qr_solve_per_block"][i] > res.data["qr_solve_mkl"][i], n
+        assert res.data["gj_per_block"][i] > res.data["gj_mkl"][i], n
+    i56 = res.data["n"].index(56)
+    benchmark.extra_info["qr_solve_56"] = res.data["qr_solve_per_block"][i56]
+    benchmark.extra_info["gj_56"] = res.data["gj_per_block"][i56]

@@ -1,0 +1,11 @@
+"""Figure 1: global memory latency as a function of access stride."""
+
+
+def test_fig1_latency_staircase(regenerate, benchmark):
+    res = regenerate("fig1")
+    lats = res.data["latency"]
+    assert lats[0] < 160          # line-reuse regime
+    assert max(lats) > 550        # TLB-miss plateau
+    assert lats == sorted(lats)   # monotone staircase across the sweep
+    benchmark.extra_info["min_latency"] = min(lats)
+    benchmark.extra_info["max_latency"] = max(lats)

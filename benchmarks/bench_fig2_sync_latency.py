@@ -1,0 +1,10 @@
+"""Figure 2: synchronization latency vs threads per multiprocessor."""
+
+
+def test_fig2_sync_latency(regenerate, benchmark):
+    res = regenerate("fig2")
+    threads, lats = res.data["threads"], res.data["latency"]
+    assert lats[threads.index(64)] == 46        # Table IV's alpha_sync
+    assert lats == sorted(lats)                 # monotone in thread count
+    assert 150 <= lats[threads.index(1024)] <= 200
+    benchmark.extra_info["alpha_sync_64"] = lats[threads.index(64)]

@@ -1,0 +1,17 @@
+"""Figure 4: one-problem-per-thread QR/LU, measured vs predicted."""
+
+import pytest
+
+
+def test_fig4_per_thread(regenerate, benchmark):
+    res = regenerate("fig4", batch=256)
+    ns = res.data["n"]
+    i7, i12 = ns.index(7), ns.index(12)
+    # The worked example: 7x7 QR ~126 GFLOPS, measured tracks the model.
+    assert res.data["qr_measured"][i7] == pytest.approx(126, rel=0.1)
+    assert res.data["qr_measured"][i7] == pytest.approx(
+        res.data["qr_predicted"][i7], rel=0.1
+    )
+    # Post-spill collapse: measured flat, prediction keeps climbing.
+    assert res.data["qr_measured"][i12] < 0.5 * res.data["qr_predicted"][i12]
+    benchmark.extra_info["qr_peak_gflops"] = res.data["qr_measured"][i7]

@@ -1,0 +1,11 @@
+"""Figure 7: 1D vs 2D register-file data layouts for the QR solver."""
+
+
+def test_fig7_layouts(regenerate, benchmark):
+    res = regenerate("fig7")
+    ns = res.data["n"]
+    for i, n in enumerate(ns):
+        if n > 16:  # curves touch at the smallest size
+            assert res.data["2D cyclic"][i] > res.data["1D column cyclic"][i]
+        assert res.data["1D column cyclic"][i] > res.data["1D row cyclic"][i]
+    benchmark.extra_info["2d_at_96"] = res.data["2D cyclic"][ns.index(96)]

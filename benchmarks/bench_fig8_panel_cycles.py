@@ -1,0 +1,15 @@
+"""Figure 8: per-panel cycle breakdown for the 56x56 QR."""
+
+
+def test_fig8_panel_breakdown(regenerate, benchmark):
+    res = regenerate("fig8")
+    measured, modeled = res.data["measured"], res.data["modeled"]
+    assert len(measured) == len(modeled) == 7
+    totals_m = [sum(p.values()) for p in measured]
+    totals_d = [sum(p.values()) for p in modeled]
+    assert totals_m == sorted(totals_m, reverse=True)   # panels shrink
+    assert sum(totals_d) < sum(totals_m) < 1.35 * sum(totals_d)
+    # MV multiply dominates early panels in both views.
+    assert measured[0]["Matrix-Vector Multiply"] == max(measured[0].values())
+    benchmark.extra_info["measured_total"] = sum(totals_m)
+    benchmark.extra_info["modeled_total"] = sum(totals_d)

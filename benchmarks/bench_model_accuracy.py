@@ -1,0 +1,20 @@
+"""The paper's headline claim as a regression gate: model accuracy.
+
+Not a single table or figure, but the thesis of the paper -- "an
+analytical model that accurately predicts GPU performance for these
+problems".  Sweeps Figure 9's full size range and reports the mean
+absolute percentage error of the Table-VI prediction against the
+engine-measured throughput.
+"""
+
+from repro.model import model_accuracy
+
+
+def test_model_accuracy_gate(benchmark):
+    report = benchmark.pedantic(
+        lambda: model_accuracy(sizes=range(8, 145, 8)), rounds=3, iterations=1
+    )
+    assert report.mape_no_spill < 0.10   # accurate where the model applies
+    assert report.mape_spill > 0.15      # knowingly wrong where it doesn't
+    benchmark.extra_info["mape_no_spill_pct"] = round(report.mape_no_spill * 100, 1)
+    benchmark.extra_info["mape_spill_pct"] = round(report.mape_spill * 100, 1)

@@ -1,0 +1,11 @@
+"""Table I: device summary of the simulated Quadro 6000."""
+
+import pytest
+
+
+def test_table1_device_summary(regenerate, benchmark):
+    res = regenerate("table1")
+    rows = res.data["rows"]
+    assert rows["Total number of FPUs"] == 448
+    assert rows["Peak SP flops (TFlop/s)"] == pytest.approx(1.03, rel=0.01)
+    benchmark.extra_info["peak_tflops"] = rows["Peak SP flops (TFlop/s)"]

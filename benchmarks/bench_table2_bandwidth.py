@@ -1,0 +1,12 @@
+"""Table II: measured bandwidths of the memory hierarchy."""
+
+import pytest
+
+
+def test_table2_bandwidths(regenerate, benchmark):
+    res = regenerate("table2")
+    assert res.data["Shared memory (all cores)"] == pytest.approx(880, rel=0.02)
+    assert res.data["Global memory"] == pytest.approx(108, rel=0.05)
+    assert res.data["Global memory (cudaMemcpy)"] == pytest.approx(84, rel=0.05)
+    benchmark.extra_info["shared_gbs"] = res.data["Shared memory (all cores)"]
+    benchmark.extra_info["global_gbs"] = res.data["Global memory"]

@@ -1,0 +1,12 @@
+"""Table III: measured latencies of the memory hierarchy."""
+
+import pytest
+
+
+def test_table3_latencies(regenerate, benchmark):
+    res = regenerate("table3")
+    assert res.data["Shared memory"] == 27
+    assert res.data["Global memory"] == pytest.approx(570, rel=0.02)
+    assert res.data["G80 shared (Volkov)"] == 36
+    benchmark.extra_info["shared_cycles"] = res.data["Shared memory"]
+    benchmark.extra_info["global_cycles"] = res.data["Global memory"]

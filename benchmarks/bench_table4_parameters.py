@@ -1,0 +1,12 @@
+"""Table IV: full microbenchmark calibration of the model parameters."""
+
+import pytest
+
+from repro.reporting.paper_values import TABLE_IV
+
+
+def test_table4_calibration(regenerate, benchmark):
+    res = regenerate("table4")
+    for key, ref in TABLE_IV.items():
+        assert res.data[key] == pytest.approx(ref, rel=0.05), key
+    benchmark.extra_info.update({k: v for k, v in res.data.items()})

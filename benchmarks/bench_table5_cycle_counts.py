@@ -1,0 +1,13 @@
+"""Table V: load/compute/store cycle counts for 56x56 LU and QR."""
+
+from repro.reporting.paper_values import TABLE_V
+
+
+def test_table5_cycle_counts(regenerate, benchmark):
+    res = regenerate("table5")
+    for kind in ("lu", "qr"):
+        for phase in ("load", "compute", "store"):
+            ratio = res.data[kind][phase] / TABLE_V[kind][phase]
+            assert 0.8 < ratio < 1.25, (kind, phase)
+    benchmark.extra_info["qr_compute_cycles"] = res.data["qr"]["compute"]
+    benchmark.extra_info["lu_compute_cycles"] = res.data["lu"]["compute"]

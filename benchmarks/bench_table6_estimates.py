@@ -1,0 +1,12 @@
+"""Table VI: the per-column model estimates evaluated at 56x56."""
+
+
+def test_table6_estimates(regenerate, benchmark):
+    res = regenerate("table6")
+    rows = res.data["rows"]
+    qr_rows = [r for r in rows if r[0] == "QR"]
+    lu_rows = [r for r in rows if r[0] == "LU"]
+    assert len(qr_rows) == 3 and len(lu_rows) == 2
+    # QR's first column costs more than LU's (extra norm/reductions).
+    assert sum(r[-1] for r in qr_rows) > sum(r[-1] for r in lu_rows)
+    benchmark.extra_info["qr_first_column_cycles"] = sum(r[-1] for r in qr_rows)

@@ -1,0 +1,13 @@
+"""Table VII: RT_STAP single-precision complex QR factorizations."""
+
+
+def test_table7_stap(regenerate, benchmark):
+    res = regenerate("table7")
+    rows = res.data["rows"]
+    speedups = [r["speedup"] for r in rows]
+    assert all(s > 1.5 for s in speedups)
+    assert speedups[0] == max(speedups)      # 80x16 is the headline win
+    assert 10 < speedups[0] < 40             # paper: 25x
+    for row in rows[1:]:
+        assert 1.5 < row["speedup"] < 8      # paper: 2.8x / 3.6x
+    benchmark.extra_info["speedups"] = speedups

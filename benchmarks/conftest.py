@@ -1,0 +1,30 @@
+"""Shared helpers for the per-artefact benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+regenerated tables/series).  Every benchmark regenerates one table or
+figure of the paper via the experiment registry and records headline
+numbers in ``extra_info`` so the saved benchmark JSON doubles as the
+reproduction record.
+"""
+
+import pytest
+
+from repro.reporting import run_experiment
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run one experiment under the benchmark timer and print its report."""
+
+    def _run(experiment_id: str, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **kwargs),
+            rounds=3,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        print()
+        print(result.report)
+        return result
+
+    return _run

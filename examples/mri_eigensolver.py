@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""MRI-style batched eigendecomposition (the Section I motivation).
+
+"MRI reconstruction ... requires solving up to a billion small (8x8 or
+32x32) complex eigenvalue problems, one for each voxel."  This example
+builds voxel-wise coil-correlation matrices (as an ESPIRiT/L1-SPIRiT
+style reconstruction would), eigensolves them in lockstep with the
+batched cyclic-Jacobi kernel, and validates the dominant eigenvectors --
+the per-voxel coil sensitivities.
+"""
+
+import numpy as np
+
+from repro.kernels.batched import hermitian_batch, jacobi_eigh
+from repro.reporting import format_table
+
+
+def voxel_correlation_matrices(voxels: int, coils: int, seed: int = 42) -> np.ndarray:
+    """Synthetic coil-correlation matrices with a dominant rank-1 part.
+
+    Each voxel's matrix is s s^H (the true sensitivity outer product)
+    plus scaled Hermitian noise -- the structure an MRI calibration
+    produces.
+    """
+    rng = np.random.default_rng(seed)
+    s = rng.standard_normal((voxels, coils)) + 1j * rng.standard_normal((voxels, coils))
+    s = (s / np.linalg.norm(s, axis=1, keepdims=True)).astype(np.complex64)
+    rank1 = np.einsum("vi,vj->vij", s, s.conj()).astype(np.complex64)
+    noise = 0.05 * hermitian_batch(voxels, coils, dtype=np.complex64, seed=seed + 1)
+    return rank1 + noise, s
+
+
+def main() -> None:
+    voxels, coils = 4096, 8
+    print(f"Eigensolving {voxels} voxel correlation matrices ({coils}x{coils} "
+          f"complex Hermitian) with batched cyclic Jacobi...")
+    matrices, truth = voxel_correlation_matrices(voxels, coils)
+    result = jacobi_eigh(matrices.copy())
+    print(f"  converged in {result.sweeps_used} sweeps "
+          f"(off-diagonal norm {result.off_diagonal_norm:.2e})")
+
+    # Dominant eigenvector per voxel = estimated coil sensitivity.
+    dominant = result.eigenvectors[:, :, -1]
+    # Phase-align before comparing (eigenvectors are defined up to phase).
+    phase = np.einsum("vi,vi->v", dominant.conj(), truth)
+    phase = phase / np.abs(phase)
+    aligned = dominant * phase[:, None]
+    err = np.linalg.norm(aligned - truth, axis=1)
+
+    ref = np.linalg.eigvalsh(matrices[:64].astype(np.complex128))
+    jac = result.eigenvalues[:64]
+    rows = [
+        ["voxels", voxels],
+        ["matrix size", f"{coils}x{coils} complex64"],
+        ["Jacobi sweeps", result.sweeps_used],
+        ["max sensitivity error", f"{err.max():.2e}"],
+        ["median sensitivity error", f"{np.median(err):.2e}"],
+        ["max |eig - LAPACK| (64-voxel sample)", f"{np.abs(jac - ref).max():.2e}"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Real-time radar budgeting: which platform keeps up with which radar?
+
+Section I motivates STAP as "typically limited by the processing
+capabilities of the radar system".  This example asks the operational
+question: at a given coherent-processing-interval (CPI) rate, which
+platform/mapping combinations meet the QR phase's deadline, and what is
+the fastest radar each could serve?
+"""
+
+from repro.approaches import CpuLapackApproach, PerBlockApproach, TiledQrApproach, Workload
+from repro.reporting import format_table
+from repro.stap import RT_STAP_CASES, RealTimeBudget, assess_realtime
+
+
+def main() -> None:
+    budget = RealTimeBudget(cpi_rate_hz=10.0, qr_time_share=0.5)
+    print(f"Budget: {budget.cpi_rate_hz:.0f} CPIs/s, "
+          f"{budget.qr_time_share:.0%} of each CPI available for the QR phase "
+          f"({budget.qr_deadline_seconds*1e3:.0f} ms deadline)\n")
+
+    platforms = [
+        ("GPU per-block", PerBlockApproach()),
+        ("GPU tiled", TiledQrApproach()),
+        ("CPU (MKL model)", CpuLapackApproach()),
+    ]
+    rows = []
+    for case in RT_STAP_CASES:
+        for name, approach in platforms:
+            work = Workload("qr", case.rows, case.cols, case.num_matrices,
+                            complex_dtype=True)
+            if not approach.supports(work):
+                continue
+            report = assess_realtime(case, approach, budget)
+            rows.append([
+                case.label, name,
+                f"{report.seconds_per_cpi * 1e3:.1f} ms",
+                "yes" if report.meets_deadline else "NO",
+                f"{report.headroom:.1f}x",
+                f"{report.max_cpi_rate_hz:.0f} Hz",
+            ])
+    print(format_table(
+        ["case", "platform", "QR time/CPI", "real-time?", "headroom",
+         "max CPI rate"],
+        rows,
+    ))
+    print("\nThe register-resident GPU mappings hold real time with an order"
+          "\nof magnitude of headroom on the small case; the CPU baseline is"
+          "\nmarginal exactly where the paper says radar systems are limited.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Space-time adaptive radar processing end to end (Section VII).
+
+Simulates a coherent processing interval (clutter ridge + jammers +
+noise), Doppler-filters it, computes QR-based adaptive weights from
+training snapshots, and shows the jammer/clutter suppression the adapted
+beamformer achieves.  Then reruns the Table VII benchmark sizes and
+prints the paper-vs-measured comparison.
+"""
+
+import numpy as np
+
+from repro.reporting import format_table, run_experiment
+from repro.stap import (
+    RadarScenario,
+    cell_averaging_cfar,
+    generate_datacube,
+    inject_target,
+    qr_adaptive_weights,
+    run_pipeline,
+    space_time_steering,
+    training_matrices,
+)
+
+
+def main() -> None:
+    # --- End-to-end pipeline with an injected target. -------------------
+    scenario = RadarScenario(channels=8, pulses=16, ranges=512)
+    print(f"Scenario: {scenario.channels} channels x {scenario.pulses} pulses, "
+          f"{scenario.ranges} range gates, CNR {10*np.log10(scenario.cnr):.0f} dB, "
+          f"{len(scenario.jammer_angles)} jammers")
+    result = run_pipeline(scenario)
+    print(f"adapted-vs-unadapted SINR improvement: {result.improvement_db:.1f} dB")
+
+    # --- Beampattern sanity: look direction vs jammer direction. --------
+    cube = generate_datacube(scenario)
+    dof = scenario.channels * scenario.pulses
+    training = training_matrices(cube, 1, 2 * dof, dof)
+    look = space_time_steering(scenario.channels, scenario.pulses, 0.1, 0.25)
+    w = qr_adaptive_weights(training, look).weights[0]
+    rows = []
+    for name, angle, doppler in (
+        ("look direction", 0.1, 0.25),
+        ("jammer 1", scenario.jammer_angles[0], 0.0),
+        ("jammer 2", scenario.jammer_angles[1], 0.1),
+        ("clutter ridge", 0.3, 0.5 * np.sin(0.3)),
+    ):
+        v = space_time_steering(scenario.channels, scenario.pulses, angle, doppler)
+        gain_db = 20 * np.log10(max(abs(np.vdot(w, v)), 1e-12))
+        rows.append([name, f"{gain_db:+.1f} dB"])
+    print()
+    print(format_table(["direction", "adapted gain"], rows,
+                       title="Adapted beampattern (0 dB = look direction)"))
+
+    # --- CFAR detection on the adapted output. ---------------------------
+    target_gate = scenario.ranges // 2
+    bumped = inject_target(cube, 0.1, 0.25, 5.0, target_gate)
+    adapted = np.abs(bumped.snapshots() @ w.conj()) ** 2
+    unadapted = np.abs(
+        bumped.snapshots() @ (look / np.linalg.norm(look) ** 2).conj()
+    ) ** 2
+    hits_adapted = cell_averaging_cfar(adapted).detection_indices
+    hits_unadapted = cell_averaging_cfar(unadapted).detection_indices
+    print()
+    print(f"CFAR on a weak target at gate {target_gate}:")
+    print(f"  unadapted beamformer detections: {hits_unadapted.tolist()}")
+    print(f"  adapted beamformer detections:   {hits_adapted.tolist()}")
+
+    # --- Table VII. ------------------------------------------------------
+    print()
+    print(run_experiment("table7").report)
+
+
+if __name__ == "__main__":
+    main()

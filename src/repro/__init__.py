@@ -1,0 +1,23 @@
+"""repro: reproduction of Anderson, Sheffield & Keutzer (IPDPS 2012),
+"A Predictive Model for Solving Small Linear Algebra Problems in GPU
+Registers".
+
+Public API re-exports the most commonly used entry points; see the
+subpackages for the full surface:
+
+* :mod:`repro.gpu`        -- simulated GF100 substrate
+* :mod:`repro.microbench` -- Section II microbenchmarks
+* :mod:`repro.model`      -- the paper's analytical performance model
+* :mod:`repro.layouts`    -- distributed register-file data layouts
+* :mod:`repro.kernels`    -- batched numerics + device kernels
+* :mod:`repro.approaches` -- per-thread / per-block / hybrid / CPU solvers
+* :mod:`repro.tiled`      -- tiled QR for problems too big for one block
+* :mod:`repro.stap`       -- space-time adaptive processing application
+* :mod:`repro.reporting`  -- experiment registry and table/series output
+"""
+
+__version__ = "1.0.0"
+
+from .gpu import QUADRO_6000, DeviceSpec
+
+__all__ = ["QUADRO_6000", "DeviceSpec", "__version__"]

@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # show the experiment ids
+    python -m repro run fig9             # regenerate one artefact
+    python -m repro all                  # regenerate everything
+    python -m repro all -o EXPERIMENTS   # also write per-artefact reports
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .reporting import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures on the "
+        "simulated Quadro 6000.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id", choices=list_experiments())
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="also write one report file per experiment",
+    )
+    sub.add_parser(
+        "accuracy",
+        help="model-vs-measured MAPE across the Figure-9 size range",
+    )
+    export_p = sub.add_parser(
+        "export", help="write every experiment's data as JSON/CSV"
+    )
+    export_p.add_argument("-o", "--output-dir", type=Path, default=Path("artifacts"))
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid in list_experiments():
+            doc = (run_experiment.__globals__["EXPERIMENTS"][eid].__doc__ or "").strip()
+            print(f"{eid:10s} {doc.splitlines()[0] if doc else ''}")
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(args.experiment_id)
+        print(result.report)
+        return 0
+
+    if args.command == "accuracy":
+        from .model import model_accuracy
+        from .reporting import format_table
+
+        report = model_accuracy()
+        rows = [
+            [p.kind, p.n, f"{p.measured_gflops:.1f}", f"{p.predicted_gflops:.1f}",
+             f"{p.error * 100:+.1f}%", "spill" if p.spills else ""]
+            for p in report.points
+        ]
+        print(format_table(
+            ["kind", "n", "measured", "predicted", "error", ""], rows,
+            title="Model accuracy across Figure 9's size range",
+        ))
+        print(f"\nMAPE (no spilling): {report.mape_no_spill:.1%}")
+        print(f"MAPE (spilling, knowingly unmodeled): {report.mape_spill:.1%}")
+        return 0
+
+    if args.command == "export":
+        from .reporting import export_experiment
+
+        for eid in list_experiments():
+            result = run_experiment(eid)
+            files = export_experiment(result, args.output_dir)
+            print(f"{eid}: " + ", ".join(f.name for f in files))
+        return 0
+
+    # all
+    failures = 0
+    for eid in list_experiments():
+        start = time.time()
+        try:
+            result = run_experiment(eid)
+        except Exception as exc:  # pragma: no cover - defensive CLI path
+            print(f"!! {eid} failed: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(result.report)
+        print(f"[{eid}: {time.time() - start:.1f}s]\n")
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{eid}.txt").write_text(result.report + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""The five solution approaches the paper compares (Figures 10-12)."""
+
+from .base import Approach, Workload
+from .baselines import (
+    CpuLapackApproach,
+    CublasStreamsApproach,
+    HybridBlockedApproach,
+)
+from .dispatch import Ranking, best_approach, default_approaches, rank_approaches
+from .per_block import PerBlockApproach
+from .per_thread import PerThreadApproach
+from .tiled_approach import TiledQrApproach
+from .tuning import TunedLaunch, feasible_thread_counts, tune_block_threads
+
+__all__ = [
+    "Approach",
+    "Workload",
+    "CpuLapackApproach",
+    "CublasStreamsApproach",
+    "HybridBlockedApproach",
+    "Ranking",
+    "best_approach",
+    "default_approaches",
+    "rank_approaches",
+    "PerBlockApproach",
+    "PerThreadApproach",
+    "TiledQrApproach",
+    "TunedLaunch",
+    "feasible_thread_counts",
+    "tune_block_threads",
+]

@@ -1,0 +1,91 @@
+"""Baseline approaches: MKL CPU, MAGMA-like hybrid, CUBLAS + streams.
+
+Thin adapters wrapping the Section-VI cost models into the common
+:class:`~repro.approaches.base.Approach` interface.
+"""
+
+from __future__ import annotations
+
+from ..model.cpu_model import CpuModel, CpuSpec, I7_2600
+from ..model.hybrid_model import HybridConfig, HybridModel
+from ..model.parameters import ModelParameters
+from ..model.streams_model import StreamsConfig, StreamsModel
+from .base import Approach, Workload
+
+__all__ = ["CpuLapackApproach", "HybridBlockedApproach", "CublasStreamsApproach"]
+
+
+class CpuLapackApproach(Approach):
+    """Intel MKL on the Core i7-2600, one batch slice per core."""
+
+    name = "cpu-mkl"
+
+    def __init__(self, spec: CpuSpec = I7_2600):
+        self.model = CpuModel(spec)
+
+    def supports(self, work: Workload) -> bool:
+        if work.kind in ("lu", "gauss_jordan") and work.m != work.n:
+            return False
+        return work.m >= work.n
+
+    def gflops(self, work: Workload) -> float:
+        return self.model.gflops(
+            work.kind, work.m, work.n, work.batch, work.complex_dtype
+        )
+
+    def seconds(self, work: Workload) -> float:
+        return self.model.seconds(
+            work.kind, work.m, work.n, work.batch, work.complex_dtype
+        )
+
+
+class HybridBlockedApproach(Approach):
+    """MAGMA/CULA-style hybrid CPU+GPU blocked factorization."""
+
+    name = "hybrid-blocked"
+
+    def __init__(
+        self,
+        params: ModelParameters | None = None,
+        config: HybridConfig | None = None,
+        gpu_start: bool = True,
+    ):
+        self.model = HybridModel(params or ModelParameters.paper_table_iv(), config)
+        self.gpu_start = gpu_start
+
+    def supports(self, work: Workload) -> bool:
+        # MAGMA's sgeqrf/sgetrf: real, single problem at a time.
+        return work.kind in ("qr", "lu") and not work.complex_dtype and work.m >= work.n
+
+    def gflops(self, work: Workload) -> float:
+        return self.model.gflops(
+            work.kind, work.m, work.n, batch=work.batch, gpu_start=self.gpu_start
+        )
+
+    def seconds(self, work: Workload) -> float:
+        return work.batch * self.model.seconds_per_problem(
+            work.kind, work.m, work.n, gpu_start=self.gpu_start
+        )
+
+
+class CublasStreamsApproach(Approach):
+    """Factorization composed from CUBLAS calls, one stream per problem."""
+
+    name = "cublas-streams"
+
+    def __init__(
+        self,
+        params: ModelParameters | None = None,
+        config: StreamsConfig | None = None,
+    ):
+        self.model = StreamsModel(params or ModelParameters.paper_table_iv(), config)
+
+    def supports(self, work: Workload) -> bool:
+        return work.kind in ("qr", "lu") and not work.complex_dtype and work.m >= work.n
+
+    def gflops(self, work: Workload) -> float:
+        return self.model.gflops(work.kind, work.m, work.n, batch=work.batch)
+
+    def seconds(self, work: Workload) -> float:
+        per = self.model.seconds_per_problem(work.kind, work.m, work.n)
+        return per * work.batch / max(1.0, self.model.config.effective_concurrency)

@@ -1,0 +1,68 @@
+"""Approach selection: "the overall design space is not flat".
+
+Figure 10's conclusion as an API: given a workload, rank every applicable
+approach by modelled throughput and pick the winner.  The paper's
+qualitative rules fall out of the ranking:
+
+* very small problems (n < ~16, huge batches) -> one per thread,
+* small-to-medium batched problems -> one per block,
+* single large problems -> the hybrid CPU+GPU blocked library,
+* and the CPU wins when the batch is too small to feed the GPU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from .base import Approach, Workload
+from .baselines import CpuLapackApproach, CublasStreamsApproach, HybridBlockedApproach
+from .per_block import PerBlockApproach
+from .per_thread import PerThreadApproach
+
+__all__ = ["Ranking", "default_approaches", "rank_approaches", "best_approach"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Ranking:
+    """One approach's evaluation for a workload."""
+
+    approach: Approach
+    gflops: float
+
+    @property
+    def name(self) -> str:
+        return self.approach.name
+
+
+def default_approaches() -> list[Approach]:
+    """The five contenders of Figures 10-12."""
+    return [
+        PerThreadApproach(),
+        PerBlockApproach(),
+        HybridBlockedApproach(),
+        CublasStreamsApproach(),
+        CpuLapackApproach(),
+    ]
+
+
+def rank_approaches(
+    work: Workload, approaches: Sequence[Approach] | None = None
+) -> list[Ranking]:
+    """All applicable approaches, fastest first."""
+    candidates = approaches if approaches is not None else default_approaches()
+    ranked = [
+        Ranking(approach=a, gflops=a.gflops(work))
+        for a in candidates
+        if a.supports(work)
+    ]
+    if not ranked:
+        raise ValueError(f"no approach supports workload {work}")
+    return sorted(ranked, key=lambda r: r.gflops, reverse=True)
+
+
+def best_approach(
+    work: Workload, approaches: Sequence[Approach] | None = None
+) -> Ranking:
+    """The Figure-10 winner for this workload."""
+    return rank_approaches(work, approaches)[0]

@@ -1,0 +1,171 @@
+"""One-problem-per-block approach (Section V) as an :class:`Approach`.
+
+Replays the exact charge sequence of the device kernels
+(:mod:`repro.kernels.device`) against a block engine *without* the
+numerics, so Figure-10 sweeps across hundreds of sizes are instant.  A
+consistency test asserts this replay matches the device kernels' measured
+cycles on real data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import QUADRO_6000, DeviceSpec
+from ..gpu.simt import BlockEngine, LaunchResult
+from ..model.block_config import BlockConfig, block_config
+from ..model.cpu_model import CpuModel
+from ..model.flops import matrix_bytes
+from .base import Approach, Workload
+
+__all__ = ["PerBlockApproach"]
+
+
+def _column_tile_rows(cfg: BlockConfig, hreg: int, j: int) -> int:
+    return max(1, hreg - j // cfg.rdim)
+
+
+class PerBlockApproach(Approach):
+    name = "per-block"
+
+    def __init__(self, device: DeviceSpec = QUADRO_6000, fast_math: bool = True):
+        self.device = device
+        self.fast_math = fast_math
+        self._flops = CpuModel().work_flops
+
+    def supports(self, work: Workload) -> bool:
+        if work.kind in ("qr", "least_squares") and work.m < work.n:
+            return False
+        if work.kind in ("lu", "gauss_jordan") and work.m != work.n:
+            return False
+        # Shared memory must hold the column and row vectors.
+        word = 8 if work.complex_dtype else 4
+        return (work.m + work.n + 8) * word <= self.device.shared_mem_per_sm
+
+    # ------------------------------------------------------------------
+    def _engine(self, work: Workload, extra_cols: int = 0) -> tuple:
+        cfg = block_config(
+            work.m, work.n + extra_cols, complex_dtype=work.complex_dtype
+        )
+        dtype = np.complex64 if work.complex_dtype else np.float32
+        engine = BlockEngine(
+            self.device,
+            threads_per_block=cfg.threads,
+            registers_per_thread=cfg.registers_per_thread,
+            dtype=dtype,
+            fast_math=self.fast_math,
+        )
+        hreg = -(-work.m // cfg.rdim)
+        wreg = -(-(work.n + extra_cols) // cfg.rdim)
+        engine.allocate_shared(hreg * cfg.rdim)
+        engine.allocate_shared(wreg * cfg.rdim)
+        engine.allocate_shared(4)
+        return engine, cfg, hreg
+
+    def _charge_reduction(self, engine: BlockEngine, cfg: BlockConfig, cost: int):
+        engine.charge_shared(cfg.rdim + 1)
+        engine.charge_flops(cfg.rdim * cost, useful_flops=0)
+
+    def _charge_qr(
+        self, engine: BlockEngine, cfg: BlockConfig, hreg: int, work: Workload,
+        ncols: int,
+    ) -> None:
+        m = work.m
+        cost = 2 if work.complex_dtype else 1
+        steps = ncols if m > ncols else ncols - 1
+        for j in range(steps):
+            N = _column_tile_rows(cfg, hreg, j)
+            engine.charge_flops(N * cost, useful_flops=0)
+            self._charge_reduction(engine, cfg, cost)
+            engine.charge_sqrt(1, useful_flops=0)
+            engine.charge_div(2, useful_flops=0)
+            engine.charge_flops(2 * cost, useful_flops=0)
+            engine.charge_shared(2)
+            engine.charge_flops(N * cost, useful_flops=0)
+            engine.charge_shared(N, writes=True)
+            engine.sync()
+            engine.charge_shared(N)
+            engine.charge_flops(N * N * cost, useful_flops=0)
+            engine.sync()
+            self._charge_reduction(engine, cfg, cost)
+            engine.sync()
+            engine.charge_shared(N)
+            engine.charge_flops(N * N * cost, useful_flops=0)
+            engine.sync()
+
+    def _charge_lu(
+        self, engine: BlockEngine, cfg: BlockConfig, hreg: int, work: Workload
+    ) -> None:
+        cost = 2 if work.complex_dtype else 1
+        for j in range(work.n - 1):
+            N = _column_tile_rows(cfg, hreg, j)
+            engine.charge_div(1, useful_flops=0)
+            engine.charge_shared(2)
+            engine.sync()
+            engine.charge_flops(N * cost, useful_flops=0)
+            engine.charge_shared(2 * N, writes=True)
+            engine.sync()
+            engine.charge_shared(2 * N)
+            engine.charge_flops(N * N * cost, useful_flops=0)
+            engine.sync()
+
+    def _charge_gj(
+        self, engine: BlockEngine, cfg: BlockConfig, hreg: int, work: Workload
+    ) -> None:
+        cost = 2 if work.complex_dtype else 1
+        N = hreg
+        for _ in range(work.n):
+            engine.charge_div(1, useful_flops=0)
+            engine.charge_shared(2)
+            engine.sync()
+            engine.charge_flops(N * cost, useful_flops=0)
+            engine.charge_shared(2 * N, writes=True)
+            engine.sync()
+            engine.charge_shared(2 * N)
+            engine.charge_flops(N * N * cost, useful_flops=0)
+            engine.sync()
+
+    def _charge_back_substitution(
+        self, engine: BlockEngine, cfg: BlockConfig, hreg: int, work: Workload
+    ) -> None:
+        cost = 2 if work.complex_dtype else 1
+        for i in range(work.n):
+            N = _column_tile_rows(cfg, hreg, i)
+            engine.charge_div(1, useful_flops=0)
+            engine.charge_shared(2)
+            engine.charge_flops(N * cost, useful_flops=0)
+            engine.sync()
+
+    # ------------------------------------------------------------------
+    def launch(self, work: Workload) -> LaunchResult:
+        """Charge-replay the workload; return the per-block timing."""
+        word = 8 if work.complex_dtype else 4
+        in_bytes = matrix_bytes(work.m, work.n, work.complex_dtype)
+        if work.kind == "qr":
+            engine, cfg, hreg = self._engine(work)
+            engine.charge_global(in_bytes, kind="copy")
+            self._charge_qr(engine, cfg, hreg, work, work.n)
+            engine.charge_global(in_bytes, kind="copy")
+        elif work.kind == "lu":
+            engine, cfg, hreg = self._engine(work)
+            engine.charge_global(in_bytes, kind="copy")
+            self._charge_lu(engine, cfg, hreg, work)
+            engine.charge_global(in_bytes, kind="copy")
+        elif work.kind == "gauss_jordan":
+            engine, cfg, hreg = self._engine(work, extra_cols=1)
+            engine.charge_global(in_bytes + work.n * word, kind="copy")
+            self._charge_gj(engine, cfg, hreg, work)
+            engine.charge_global(work.n * word, kind="copy")
+        elif work.kind == "least_squares":
+            engine, cfg, hreg = self._engine(work, extra_cols=1)
+            engine.charge_global(in_bytes + work.m * word, kind="copy")
+            self._charge_qr(engine, cfg, hreg, work, work.n)
+            self._charge_back_substitution(engine, cfg, hreg, work)
+            engine.charge_global(work.n * word, kind="copy")
+        else:  # pragma: no cover - Workload validates kinds
+            raise ValueError(f"unknown factorization kind: {work.kind!r}")
+        flops = self._flops(work.kind, work.m, work.n, work.complex_dtype)
+        return engine.result(flops_per_block=flops)
+
+    def gflops(self, work: Workload) -> float:
+        return self.launch(work).throughput_gflops(work.batch)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to discriminate:
+
+* configuration / launch problems  -> :class:`LaunchConfigurationError`
+* resource exhaustion on the simulated device -> :class:`ResourceError`
+  (with the more specific :class:`RegisterFileOverflowError` and
+  :class:`SharedMemoryOverflowError`)
+* numerically unsolvable inputs -> :class:`SingularMatrixError`
+* misshapen / mistyped user arrays -> :class:`ShapeError`
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LaunchConfigurationError(ReproError, ValueError):
+    """A kernel launch configuration is invalid for the target device.
+
+    Examples: a non-square thread count for a 2D-cyclic layout, more
+    threads per block than the device supports, or a zero-sized grid.
+    """
+
+
+class ResourceError(ReproError, ValueError):
+    """A simulated hardware resource was exhausted."""
+
+
+class RegisterFileOverflowError(ResourceError):
+    """A thread asked for more architectural registers than exist.
+
+    On GF100 a thread may address at most 64 registers; allocations past
+    that point *spill* rather than fail, so this error is raised only when
+    spilling has been explicitly disallowed.
+    """
+
+
+class SharedMemoryOverflowError(ResourceError):
+    """A block asked for more shared memory than one SM provides."""
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """A factorization hit an (exactly) zero pivot and cannot continue.
+
+    Mirrors the paper's ``*notsolved = 1`` flag in the Gauss-Jordan and
+    LU kernels (Listing 5): the batch entry is flagged, and callers may
+    either raise or inspect the per-problem flags.
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """An input array has the wrong rank, shape, or dtype."""

@@ -1,0 +1,125 @@
+"""Cycle accounting for the simulated device.
+
+:class:`CycleClock` is a simple tagged accumulator: every cost event adds
+cycles under a *category* (``"compute"``, ``"shared"``, ``"sync"``,
+``"global"``, ``"overhead"``) and optionally under a *phase* (the panel /
+operation labels used to regenerate Figure 8's breakdown).  It performs no
+scheduling itself -- the SIMT engine decides how many cycles an event
+costs; the clock just remembers where they went.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["CycleClock", "CycleBreakdown", "TraceEvent"]
+
+#: Categories every consumer can rely on being present in a breakdown.
+CATEGORIES = ("compute", "shared", "sync", "global", "overhead")
+
+
+class CycleBreakdown(dict):
+    """A ``{category: cycles}`` mapping with a few convenience helpers."""
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values()))
+
+    def __add__(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        out = CycleBreakdown(self)
+        for key, value in other.items():
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+    def scaled(self, factor: float) -> "CycleBreakdown":
+        return CycleBreakdown({k: v * factor for k, v in self.items()})
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded cost event (tracing mode only)."""
+
+    start: float
+    cycles: float
+    category: str
+    phase: Optional[str]
+
+
+class CycleClock:
+    """Tagged cycle accumulator with nested phase labels.
+
+    With ``trace=True`` every charge is also recorded as a
+    :class:`TraceEvent` -- a per-event timeline for debugging kernels or
+    feeding external visualization.  Tracing is off by default because a
+    56x56 QR generates hundreds of events per block.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._by_category: Dict[str, float] = defaultdict(float)
+        self._by_phase: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        self._phase_stack: list[str] = []
+        self.trace = trace
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Total cycles accumulated so far."""
+        return float(sum(self._by_category.values()))
+
+    def charge(self, cycles: float, category: str) -> None:
+        """Add ``cycles`` under ``category`` (and the current phase)."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge: {cycles}")
+        if self.trace:
+            self.events.append(
+                TraceEvent(
+                    start=self.now,
+                    cycles=cycles,
+                    category=category,
+                    phase=self._phase_stack[-1] if self._phase_stack else None,
+                )
+            )
+        self._by_category[category] += cycles
+        if self._phase_stack:
+            self._by_phase[self._phase_stack[-1]][category] += cycles
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Tag all charges inside the ``with`` body with phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    def breakdown(self) -> CycleBreakdown:
+        """Cycles per category (categories never charged are omitted)."""
+        return CycleBreakdown(self._by_category)
+
+    def phase_breakdown(self, name: str) -> CycleBreakdown:
+        """Cycles per category charged while phase ``name`` was active."""
+        return CycleBreakdown(self._by_phase.get(name, {}))
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total cycles per phase label, in insertion order."""
+        return {name: sum(cats.values()) for name, cats in self._by_phase.items()}
+
+    def category(self, name: str) -> float:
+        return float(self._by_category.get(name, 0.0))
+
+    def reset(self) -> None:
+        self._by_category.clear()
+        self._by_phase.clear()
+        self._phase_stack.clear()
+        self.events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.0f}" for k, v in self._by_category.items())
+        return f"CycleClock({parts}; total={self.now:.0f})"

@@ -1,0 +1,210 @@
+"""Device specifications for the simulated GPUs.
+
+The :class:`DeviceSpec` dataclass captures every architectural quantity the
+paper's model and microbenchmarks depend on.  The preset
+:data:`QUADRO_6000` reproduces Table I of the paper; :data:`G80` exists so
+the shared-memory-latency methodology can be validated against Volkov's
+published 36-cycle figure, exactly as the authors did.
+
+All bandwidth figures are in bytes/second and all latencies in core clock
+cycles unless a field name says otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["DeviceSpec", "QUADRO_6000", "G80", "GTX480"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of a simulated CUDA GPU.
+
+    The defaults of the derived properties follow the GF100 (Fermi)
+    organisation; earlier chips override the relevant raw fields.
+    """
+
+    name: str
+    #: Number of streaming multiprocessors ("SIMT units" in the paper).
+    num_sms: int
+    #: Single-precision FPUs (CUDA cores) per SM.
+    fpus_per_sm: int
+    #: Core clock in Hz (the clock all latencies are quoted against).
+    clock_hz: float
+    #: Shared-memory/LSU clock in Hz (GF100 banks move 4B/cycle at this rate).
+    shared_clock_hz: float
+    #: Architectural limit on registers addressable by one thread.
+    max_registers_per_thread: int
+    #: Total 32-bit registers in one SM's register file.
+    registers_per_sm: int
+    #: Bytes of shared memory (scratchpad) per SM.
+    shared_mem_per_sm: int
+    #: Number of shared-memory banks per SM.
+    shared_banks: int
+    #: Peak (pin) DRAM bandwidth in bytes/second.
+    global_bandwidth: float
+    #: Total DRAM capacity in bytes.
+    global_mem_bytes: int
+    #: Unified L2 cache size in bytes (0 for pre-Fermi parts).
+    l2_bytes: int
+    #: L2 line size in bytes.
+    l2_line_bytes: int
+    #: L2 associativity (ways).
+    l2_ways: int
+    #: Per-SM L1 cache in bytes (configurable slice of the 64 KB array).
+    l1_bytes: int
+    #: Threads per warp.
+    warp_size: int = 32
+    #: Hardware scheduling limits.
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    #: Register allocation granularity (registers are handed out in
+    #: per-warp chunks of this many registers on Fermi).
+    register_alloc_unit: int = 64
+    #: Shared-memory allocation granularity in bytes.
+    shared_alloc_unit: int = 128
+    #: Arithmetic pipeline depth in cycles (the paper's gamma).
+    pipeline_latency: int = 18
+    #: Best-case shared memory load-to-use latency in cycles.
+    shared_latency: int = 27
+    #: Full-miss global memory latency in cycles (DRAM row miss, TLB hit).
+    global_latency: int = 570
+    #: L1 hit latency for a dependent load, in cycles.
+    l1_latency: int = 96
+    #: L2 hit latency for a dependent load, in cycles.
+    l2_latency: int = 280
+    #: Extra cycles for a TLB miss on top of a DRAM access.
+    tlb_miss_penalty: int = 60
+    #: Cycles to access shared memory through a *global* (LD) instruction
+    #: instead of LDS -- the paper measured ~14 extra cycles on GF100.
+    generic_addressing_penalty: int = 14
+    #: ``__syncthreads`` cost model: ``sync_base + sync_per_warp * warps``.
+    sync_base: int = 38
+    sync_per_warp: int = 4
+    #: Page size assumed by the address-translation model.
+    page_bytes: int = 65536
+    #: Entries in the (single-level) TLB model.
+    tlb_entries: int = 64
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_fpus(self) -> int:
+        """Total single-precision FPUs on the chip."""
+        return self.num_sms * self.fpus_per_sm
+
+    @property
+    def peak_sp_flops(self) -> float:
+        """Peak single-precision FLOP/s (one FMA = 2 FLOPs per FPU/cycle)."""
+        return self.total_fpus * self.clock_hz * 2.0
+
+    @property
+    def peak_sp_per_fpu(self) -> float:
+        """Peak single-precision FLOP/s contributed by a single FPU."""
+        return self.clock_hz * 2.0
+
+    @property
+    def peak_shared_bandwidth(self) -> float:
+        """Theoretical shared-memory bandwidth of all SMs, bytes/second.
+
+        Table II footnote: 14 SIMT units x 32 banks x 4 bytes x 575 MHz
+        = 1030 GB/s on the Quadro 6000.
+        """
+        return self.num_sms * self.shared_banks * 4 * self.shared_clock_hz
+
+    @property
+    def warps_per_block_limit(self) -> int:
+        return self.max_threads_per_block // self.warp_size
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core-clock cycles to seconds."""
+        return cycles / self.clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to core-clock cycles."""
+        return seconds * self.clock_hz
+
+    def sync_latency(self, threads: int) -> int:
+        """Cost of ``__syncthreads`` for ``threads`` active threads on an SM.
+
+        Linear-in-warps model fitted to Figure 2 of the paper: 64 threads
+        synchronize in 46 cycles and the curve reaches ~170 cycles at 1024
+        threads.
+        """
+        if threads <= 0:
+            return 0
+        warps = math.ceil(threads / self.warp_size)
+        return self.sync_base + self.sync_per_warp * warps
+
+
+#: The paper's evaluation platform (Table I).
+QUADRO_6000 = DeviceSpec(
+    name="NVIDIA Quadro 6000 (GF100)",
+    num_sms=14,
+    fpus_per_sm=32,
+    clock_hz=1.15e9,
+    shared_clock_hz=575e6,
+    max_registers_per_thread=64,
+    registers_per_sm=32768,
+    shared_mem_per_sm=48 * 1024,
+    shared_banks=32,
+    global_bandwidth=144e9,
+    global_mem_bytes=6 * 1024**3,
+    l2_bytes=768 * 1024,
+    l2_line_bytes=128,
+    l2_ways=16,
+    l1_bytes=16 * 1024,
+)
+
+#: The G80 (8800 GTX generation) -- used only to validate the
+#: shared-latency microbenchmark against Volkov's 36-cycle result.
+G80 = DeviceSpec(
+    name="NVIDIA G80",
+    num_sms=16,
+    fpus_per_sm=8,
+    clock_hz=1.35e9,
+    shared_clock_hz=1.35e9,
+    max_registers_per_thread=128,
+    registers_per_sm=8192,
+    shared_mem_per_sm=16 * 1024,
+    shared_banks=16,
+    global_bandwidth=86.4e9,
+    global_mem_bytes=768 * 1024**2,
+    l2_bytes=0,
+    l2_line_bytes=128,
+    l2_ways=1,
+    l1_bytes=0,
+    max_threads_per_sm=768,
+    max_blocks_per_sm=8,
+    max_threads_per_block=512,
+    pipeline_latency=24,
+    shared_latency=36,
+    global_latency=510,
+    l1_latency=510,  # no L1: a "hit" is a DRAM access
+    l2_latency=510,
+    sync_base=28,
+    sync_per_warp=4,
+)
+
+#: A consumer GF100 part, provided for "other device" tests and examples.
+GTX480 = DeviceSpec(
+    name="NVIDIA GTX 480 (GF100)",
+    num_sms=15,
+    fpus_per_sm=32,
+    clock_hz=1.401e9,
+    shared_clock_hz=700.5e6,
+    max_registers_per_thread=64,
+    registers_per_sm=32768,
+    shared_mem_per_sm=48 * 1024,
+    shared_banks=32,
+    global_bandwidth=177.4e9,
+    global_mem_bytes=1536 * 1024**2,
+    l2_bytes=768 * 1024,
+    l2_line_bytes=128,
+    l2_ways=16,
+    l1_bytes=16 * 1024,
+)

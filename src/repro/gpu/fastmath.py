@@ -1,0 +1,116 @@
+"""Emulation of GF100 ``--use_fast_math`` arithmetic.
+
+With ``--use_fast_math`` the compiler lowers division and square root to
+the special-function unit's reciprocal and reciprocal-square-root
+approximations, which are *accurate up to 22 mantissa bits* (the paper
+cites Nickolls & Dally).  A float32 significand has 24 bits, so fast-math
+results may disagree with IEEE in the bottom two bits.
+
+This module provides drop-in replacements that compute the IEEE result
+and then truncate the significand to 22 bits, so that
+
+* numerical tests can quantify the accuracy impact the paper accepts, and
+* batched kernels can be run in either mode and compared.
+
+Complex inputs are handled by applying the truncation to the real and
+imaginary parts of the (componentwise-computed) result, mirroring how a
+complex divide compiles to real arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MANTISSA_BITS",
+    "truncate_mantissa",
+    "fast_reciprocal",
+    "fast_divide",
+    "fast_sqrt",
+    "fast_rsqrt",
+]
+
+#: Correct mantissa bits of the hardware approximation.
+MANTISSA_BITS = 22
+
+
+def _truncate_f32(x: np.ndarray, bits: int) -> np.ndarray:
+    """Zero the bottom ``24 - bits`` significand bits of float32 values."""
+    drop = 24 - 1 - bits  # 23 stored fraction bits + 1 implicit
+    if drop <= 0:
+        return x
+    raw = x.view(np.uint32)
+    mask = np.uint32(0xFFFFFFFF) << np.uint32(drop)
+    out = (raw & mask).view(np.float32)
+    return out
+
+
+def _truncate_f64(x: np.ndarray, bits: int) -> np.ndarray:
+    """Zero the bottom ``53 - bits`` significand bits of float64 values."""
+    drop = 53 - 1 - bits
+    if drop <= 0:
+        return x
+    raw = x.view(np.uint64)
+    mask = np.uint64(0xFFFFFFFFFFFFFFFF) << np.uint64(drop)
+    return (raw & mask).view(np.float64)
+
+
+def truncate_mantissa(x: np.ndarray | float, bits: int = MANTISSA_BITS) -> np.ndarray:
+    """Truncate the significand of ``x`` to ``bits`` bits.
+
+    Works elementwise on real and complex arrays of any shape.  NaNs and
+    infinities pass through unchanged (their significand bits are either
+    irrelevant or preserved by masking).
+    """
+    arr = np.asarray(x)
+    if arr.dtype == np.float32:
+        return _truncate_f32(arr.copy(), bits)
+    if arr.dtype == np.float64:
+        return _truncate_f64(arr.copy(), bits)
+    if arr.dtype == np.complex64:
+        real = _truncate_f32(arr.real.astype(np.float32), bits)
+        imag = _truncate_f32(arr.imag.astype(np.float32), bits)
+        return (real + 1j * imag).astype(np.complex64)
+    if arr.dtype == np.complex128:
+        real = _truncate_f64(arr.real.copy(), bits)
+        imag = _truncate_f64(arr.imag.copy(), bits)
+        return real + 1j * imag
+    raise TypeError(f"unsupported dtype for fast-math truncation: {arr.dtype}")
+
+
+def fast_reciprocal(x: np.ndarray | float) -> np.ndarray:
+    """Hardware ``RCP``: reciprocal accurate to 22 mantissa bits."""
+    arr = np.asarray(x)
+    with np.errstate(divide="ignore"):
+        return truncate_mantissa(np.reciprocal(arr))
+
+
+def fast_divide(num: np.ndarray | float, den: np.ndarray | float) -> np.ndarray:
+    """``__fdividef``-style division: ``num * RCP(den)``.
+
+    The multiply is exact-rounded, so the error budget is the RCP's.
+    """
+    return np.asarray(num) * fast_reciprocal(den)
+
+
+def fast_rsqrt(x: np.ndarray | float) -> np.ndarray:
+    """Hardware ``RSQRT``: reciprocal square root at 22 mantissa bits."""
+    arr = np.asarray(x)
+    with np.errstate(divide="ignore"):
+        return truncate_mantissa(1.0 / np.sqrt(arr))
+
+
+def fast_sqrt(x: np.ndarray | float) -> np.ndarray:
+    """Fast square root, lowered as ``x * RSQRT(x)`` like the compiler does.
+
+    ``sqrt(0)`` is special-cased to 0 because ``0 * inf`` would otherwise
+    produce NaN -- the hardware sequence has the same guard.
+    """
+    arr = np.asarray(x)
+    rs = fast_rsqrt(arr)
+    with np.errstate(invalid="ignore"):  # 0 * inf at the guarded zero
+        out = truncate_mantissa(arr * rs)
+    if out.ndim == 0:
+        return np.where(arr == 0, np.zeros_like(out), out)[()]
+    out[np.asarray(arr) == 0] = 0
+    return out

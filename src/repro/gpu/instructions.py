@@ -1,0 +1,72 @@
+"""Instruction cost table for the simulated GF100 pipeline.
+
+The paper charges one ``gamma`` (the 18-cycle arithmetic pipeline depth)
+per dependent floating-point instruction, counting a fused multiply-add as
+a single instruction because the pipeline is dual-issue.  Division and
+square root are not pipelined the same way: GF100 exposes *fast* hardware
+approximations (``--use_fast_math``: 22 correct mantissa bits) and much
+slower software-refined *precise* variants.  The fast/precise cycle counts
+below follow the GT200 microbenchmarking study the paper cites (Wong et
+al., ISPASS 2010), scaled to the GF100 pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .device import DeviceSpec
+
+__all__ = ["InstructionCosts", "costs_for"]
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionCosts:
+    """Latency, in core-clock cycles, of each instruction class.
+
+    All values are *dependent-chain* latencies: the cost of an instruction
+    whose result is needed by the next one, which is the regime the
+    paper's model (and register-resident factorizations in general)
+    operate in.
+    """
+
+    #: Pipelined FP add/mul/FMA (the paper's gamma).
+    fma: int
+    #: Hardware reciprocal / fast division (22 mantissa bits).
+    div_fast: int
+    #: IEEE-rounded division (software refined).
+    div_precise: int
+    #: Hardware reciprocal-sqrt based square root (22 mantissa bits).
+    sqrt_fast: int
+    #: IEEE-rounded square root.
+    sqrt_precise: int
+    #: Integer shift (the SHL.W the paper measured at pipeline depth).
+    shift: int
+    #: Non-FP issue overhead per instruction when accounted explicitly.
+    issue: int = 1
+
+    def div(self, fast: bool) -> int:
+        return self.div_fast if fast else self.div_precise
+
+    def sqrt(self, fast: bool) -> int:
+        return self.sqrt_fast if fast else self.sqrt_precise
+
+
+def costs_for(device: DeviceSpec) -> InstructionCosts:
+    """Instruction costs consistent with ``device``'s pipeline depth.
+
+    The fast transcendental costs are expressed as multiples of the
+    pipeline depth so the same table transfers across device presets:
+    the SFU takes two pipeline passes for a fast divide and roughly three
+    for a fast square root; precise variants run Newton refinement in
+    software (about 7x / 9x the pipeline depth, matching the ~137-cycle
+    precise divide Wong et al. report against a 18-24 cycle pipe).
+    """
+    gamma = device.pipeline_latency
+    return InstructionCosts(
+        fma=gamma,
+        div_fast=2 * gamma,
+        div_precise=8 * gamma,
+        sqrt_fast=3 * gamma,
+        sqrt_precise=10 * gamma,
+        shift=gamma,
+    )

@@ -1,0 +1,94 @@
+"""Set-associative cache simulators (L1 and L2 tag stores).
+
+The GF100's 768 KB unified L2 acts as a "bandwidth amplifier" between the
+SMs and DRAM; each SM additionally has a 16 KB L1 slice.  For the
+pointer-chasing microbenchmark (Figure 1) what matters is *which
+dependent loads hit which level*, so these are plain functional
+set-associative tag stores with true-LRU replacement.
+
+The simulators are deliberately storage-free: they track tags only,
+because the functional data path of the engine keeps real values in NumPy
+arrays and only needs the hit/miss verdicts for timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec
+
+__all__ = ["TagCache", "L2Cache", "L1Cache"]
+
+
+class TagCache:
+    """True-LRU set-associative tag store."""
+
+    def __init__(self, size_bytes: int, line_bytes: int, ways: int):
+        if line_bytes <= 0 or ways <= 0:
+            raise ValueError("line size and associativity must be positive")
+        self.size_bytes = int(size_bytes)
+        self.line_bytes = int(line_bytes)
+        self.ways = int(ways)
+        self.num_sets = max(1, self.size_bytes // (self.line_bytes * self.ways))
+        # tags[set, way] = line address (-1 = invalid); lru[set, way] = age
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._lru = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """A zero-byte cache never hits (pre-Fermi parts have no L2/L1)."""
+        return self.size_bytes > 0
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._lru.fill(0)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, byte_address: int) -> bool:
+        """Touch ``byte_address``; return True on hit, False on miss.
+
+        A miss installs the line (allocate-on-miss, evicting the LRU way).
+        """
+        if not self.enabled:
+            self.misses += 1
+            return False
+        line = byte_address // self.line_bytes
+        index = line % self.num_sets
+        self._tick += 1
+        row_tags = self._tags[index]
+        hit_ways = np.nonzero(row_tags == line)[0]
+        if hit_ways.size:
+            self._lru[index, hit_ways[0]] = self._tick
+            self.hits += 1
+            return True
+        victim = int(np.argmin(self._lru[index]))
+        self._tags[index, victim] = line
+        self._lru[index, victim] = self._tick
+        self.misses += 1
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class L2Cache(TagCache):
+    """The chip-wide L2, sized from a :class:`~repro.gpu.device.DeviceSpec`."""
+
+    def __init__(self, device: DeviceSpec):
+        super().__init__(device.l2_bytes, device.l2_line_bytes, device.l2_ways)
+        self.device = device
+
+
+class L1Cache(TagCache):
+    """One SM's L1 slice (4-way on GF100)."""
+
+    def __init__(self, device: DeviceSpec, ways: int = 4):
+        super().__init__(device.l1_bytes, device.l2_line_bytes, ways)
+        self.device = device

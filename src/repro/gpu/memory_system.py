@@ -1,0 +1,174 @@
+"""Composed global-memory hierarchy: L1 -> L2 -> (TLB, DRAM rows).
+
+This module answers the two questions the paper's Section II
+microbenchmarks ask of real silicon:
+
+* :meth:`MemorySystem.chase` -- average dependent-load latency of a
+  pointer chase with a given stride (Figure 1's staircase, Table III's
+  570-cycle plateau), obtained by *simulating* the chase against the L1,
+  L2, DRAM row-buffer, and TLB state machines;
+* :meth:`MemorySystem.stream_bandwidth` -- sustained bandwidth of read,
+  copy, and ``cudaMemcpy`` streams (Table II).
+
+It also provides the per-block DRAM cost used by the one-problem-per-block
+engine (:meth:`block_transfer_cycles`), including the empirical overlap
+factor the paper observes in Table V (per-block load timestamps imply
+fewer than all resident blocks compete for bandwidth at once).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+from .device import DeviceSpec
+from .dram import DramModel, DramTimings
+from .l2cache import L1Cache, L2Cache
+from .tlb import Tlb
+
+__all__ = ["ChaseResult", "MemorySystem"]
+
+#: Fraction of resident blocks that effectively compete for DRAM at any
+#: instant during a load/store phase.  The warp scheduler interleaves one
+#: block's global phase with other blocks' compute phases, so per-block
+#: observed load time is shorter than a fair-share split (Table V text).
+DEFAULT_OVERLAP_FACTOR = 0.59
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaseResult:
+    """Outcome of a simulated pointer chase."""
+
+    stride_words: int
+    hops: int
+    avg_latency_cycles: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    row_hit_rate: float
+    tlb_hit_rate: float
+
+
+class MemorySystem:
+    """Functional+timing model of one GPU's global-memory path."""
+
+    def __init__(self, device: DeviceSpec, timings: DramTimings | None = None):
+        self.device = device
+        self.dram = DramModel(device, timings)
+
+    # ------------------------------------------------------------------
+    # Latency: pointer chasing (Figure 1, Table III)
+    # ------------------------------------------------------------------
+    def access_latency(
+        self, l1_hit: bool, l2_hit: bool, row_hit: bool, tlb_hit: bool
+    ) -> float:
+        """Latency of one dependent load given where it hit."""
+        if l1_hit:
+            return self.device.l1_latency
+        if l2_hit:
+            return self.device.l2_latency
+        latency = self.dram.access_latency(row_hit)
+        if not tlb_hit:
+            latency += self.device.tlb_miss_penalty
+        return latency
+
+    def chase(
+        self,
+        stride_words: int,
+        array_words: int,
+        hops: int = 4096,
+        word_bytes: int = 4,
+        warmup: int | None = None,
+    ) -> ChaseResult:
+        """Simulate a dependent pointer chase and report average latency.
+
+        The chase walks ``hops`` dependent loads through an
+        ``array_words``-long array at ``stride_words`` spacing, wrapping
+        at the end, exactly like Listing 3 run over global memory.  Cache
+        and TLB state is warmed with ``warmup`` extra hops (default: one
+        full wrap, capped at ``hops``) before measurement starts.
+        """
+        if stride_words <= 0:
+            raise ValueError("stride must be positive")
+        if array_words <= 0:
+            raise ValueError("array must be non-empty")
+        l1 = L1Cache(self.device)
+        l2 = L2Cache(self.device)
+        tlb = Tlb(self.device)
+        row_bytes = self.dram.timings.row_bytes
+        open_row = -1
+
+        stride_bytes = stride_words * word_bytes
+        array_bytes = array_words * word_bytes
+        steps_per_wrap = max(1, array_bytes // max(1, stride_bytes))
+        if warmup is None:
+            warmup = min(hops, steps_per_wrap)
+
+        addr = 0
+        total = 0.0
+        l1_hits = l2_hits = row_hits = tlb_hits = 0
+        measured = 0
+        for i in range(warmup + hops):
+            l1_hit = l1.access(addr)
+            l2_hit = l2.access(addr) if not l1_hit else True
+            tlb_hit = tlb.access(addr)
+            row = addr // row_bytes
+            row_hit = row == open_row
+            if not (l1_hit or l2_hit):
+                open_row = row
+            if i >= warmup:
+                total += self.access_latency(l1_hit, l2_hit, row_hit, tlb_hit)
+                measured += 1
+                l1_hits += l1_hit
+                l2_hits += l2_hit and not l1_hit
+                row_hits += row_hit
+                tlb_hits += tlb_hit
+            addr = (addr + stride_bytes) % array_bytes
+
+        return ChaseResult(
+            stride_words=stride_words,
+            hops=measured,
+            avg_latency_cycles=total / measured,
+            l1_hit_rate=l1_hits / measured,
+            l2_hit_rate=l2_hits / measured,
+            row_hit_rate=row_hits / measured,
+            tlb_hit_rate=tlb_hits / measured,
+        )
+
+    # ------------------------------------------------------------------
+    # Bandwidth (Table II)
+    # ------------------------------------------------------------------
+    def stream_bandwidth(
+        self, kind: Literal["read", "copy", "memcpy"] = "copy"
+    ) -> float:
+        """Sustained bytes/second for the given streaming pattern."""
+        if kind == "read":
+            return self.dram.read_bandwidth()
+        if kind == "copy":
+            return self.dram.copy_bandwidth()
+        if kind == "memcpy":
+            return self.dram.memcpy_bandwidth()
+        raise ValueError(f"unknown stream kind: {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Per-block transfer cost (Table V, Figure 9's DRAM term)
+    # ------------------------------------------------------------------
+    def block_transfer_cycles(
+        self,
+        nbytes: float,
+        concurrent_blocks: int,
+        overlap_factor: float = DEFAULT_OVERLAP_FACTOR,
+        kind: Literal["read", "copy", "memcpy"] = "copy",
+    ) -> float:
+        """Observed cycles for one block to move ``nbytes`` to/from DRAM.
+
+        ``concurrent_blocks`` is the number of blocks resident on the
+        whole chip; each block sees the achieved bandwidth divided by the
+        number of blocks *effectively* competing, which is
+        ``concurrent_blocks * overlap_factor`` because global phases of
+        different blocks overlap with compute phases of others.
+        """
+        if concurrent_blocks < 1:
+            raise ValueError("need at least one resident block")
+        bw = self.stream_bandwidth(kind)
+        effective = max(1.0, concurrent_blocks * overlap_factor)
+        return self.device.seconds_to_cycles(nbytes * effective / bw)

@@ -1,0 +1,110 @@
+"""CUDA occupancy calculator.
+
+The paper derives "the number of simultaneous blocks ... from the CUDA
+occupancy calculator"; the whole-chip GFLOPS of the one-problem-per-block
+approach is ``flops_per_block * resident_blocks / time``.  This module
+reimplements that calculator for the simulated devices: resident blocks
+per SM are limited by the block slots, the thread slots, the register
+file, and shared memory, whichever binds first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import LaunchConfigurationError
+from .device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Resident-block accounting for one launch configuration."""
+
+    device: DeviceSpec
+    threads_per_block: int
+    registers_per_thread: int
+    shared_bytes_per_block: int
+    blocks_per_sm: int
+    limiter: str
+
+    @property
+    def blocks_per_chip(self) -> int:
+        return self.blocks_per_sm * self.device.num_sms
+
+    @property
+    def active_threads_per_sm(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def active_warps_per_sm(self) -> int:
+        return self.blocks_per_sm * math.ceil(
+            self.threads_per_block / self.device.warp_size
+        )
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Active threads as a fraction of the SM's thread slots."""
+        return self.active_threads_per_sm / self.device.max_threads_per_sm
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int = 0,
+) -> Occupancy:
+    """Compute resident blocks per SM for a launch configuration.
+
+    Raises :class:`LaunchConfigurationError` when even a single block
+    cannot be resident (too many threads, registers, or shared bytes).
+    """
+    if threads_per_block < 1:
+        raise LaunchConfigurationError("a block needs at least one thread")
+    if threads_per_block > device.max_threads_per_block:
+        raise LaunchConfigurationError(
+            f"{threads_per_block} threads/block exceeds the device limit "
+            f"of {device.max_threads_per_block}"
+        )
+    if registers_per_thread < 0 or shared_bytes_per_block < 0:
+        raise LaunchConfigurationError("resource requests must be non-negative")
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = device.max_blocks_per_sm
+    limits["threads"] = device.max_threads_per_sm // threads_per_block
+
+    # Registers are granted in per-warp allocation units.
+    warp = device.warp_size
+    warps = math.ceil(threads_per_block / warp)
+    unit = max(1, device.register_alloc_unit // warp)
+    regs_per_thread_granted = unit * math.ceil(max(1, registers_per_thread) / unit)
+    regs_per_block = regs_per_thread_granted * warps * warp
+    limits["registers"] = (
+        device.registers_per_sm // regs_per_block if regs_per_block else limits["blocks"]
+    )
+
+    if shared_bytes_per_block:
+        granted = device.shared_alloc_unit * math.ceil(
+            shared_bytes_per_block / device.shared_alloc_unit
+        )
+        limits["shared"] = device.shared_mem_per_sm // granted
+    else:
+        limits["shared"] = limits["blocks"]
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise LaunchConfigurationError(
+            "no block fits on an SM: "
+            + ", ".join(f"{k} allows {v}" for k, v in limits.items())
+        )
+    return Occupancy(
+        device=device,
+        threads_per_block=threads_per_block,
+        registers_per_thread=registers_per_thread,
+        shared_bytes_per_block=shared_bytes_per_block,
+        blocks_per_sm=blocks,
+        limiter=limiter,
+    )

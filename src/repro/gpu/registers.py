@@ -1,0 +1,115 @@
+"""Per-thread register file model.
+
+Register pressure decides everything in this paper: one-problem-per-thread
+works only while the matrix (plus temporaries) fits in the 63 general
+registers a GF100 thread can address, and the one-problem-per-block
+results show "false predictions at 64 and above 112 ... due to register
+spilling".  :class:`RegisterAllocation` reproduces that accounting: it
+tracks how many 32-bit registers a kernel needs per thread, how many of
+those spill, and what fraction of register accesses are therefore served
+by local memory (L1, then DRAM) instead of the register file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import RegisterFileOverflowError
+from .device import DeviceSpec
+
+__all__ = ["RegisterAllocation", "registers_for_matrix"]
+
+#: Registers the compiler always reserves (stack pointer, block/thread ids,
+#: address temporaries).  Matches typical nvcc output for these kernels.
+BASELINE_REGISTERS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisterAllocation:
+    """Outcome of allocating ``requested`` registers on ``device``.
+
+    ``requested`` counts 32-bit registers per thread, *including* the
+    compiler baseline.  If it exceeds the architectural limit the excess
+    values live in local memory and every access to them pays a spill
+    cost; ``spill_fraction`` is the fraction of the kernel's register
+    operands that live in spilled slots under an LRU-ish allocation where
+    the compiler keeps the hottest values resident.
+    """
+
+    device: DeviceSpec
+    requested: int
+
+    def __post_init__(self) -> None:
+        if self.requested < 0:
+            raise ValueError("requested registers must be non-negative")
+
+    @property
+    def limit(self) -> int:
+        return self.device.max_registers_per_thread
+
+    @property
+    def resident(self) -> int:
+        """Registers actually held in the register file."""
+        return min(self.requested, self.limit)
+
+    @property
+    def spilled(self) -> int:
+        """Register slots demoted to local memory."""
+        return max(0, self.requested - self.limit)
+
+    @property
+    def spills(self) -> bool:
+        return self.spilled > 0
+
+    @property
+    def spill_fraction(self) -> float:
+        """Fraction of register operands expected to live in spilled slots.
+
+        Assumes accesses are uniform over allocated slots, which is
+        conservative for factorizations (the trailing submatrix -- the hot
+        data -- shrinks over time while the spilled slots stay fixed).
+        """
+        if self.requested == 0:
+            return 0.0
+        return self.spilled / self.requested
+
+    def granted(self) -> int:
+        """Registers charged against the SM's register file for occupancy.
+
+        Fermi allocates registers in per-warp units, so the per-thread
+        count is rounded up to the allocation granularity when multiplied
+        out; here we return the rounded per-thread figure.
+        """
+        unit = max(1, self.device.register_alloc_unit // self.device.warp_size)
+        return unit * math.ceil(self.resident / unit)
+
+    def require_resident(self) -> None:
+        """Raise if this allocation spills (for spill-intolerant callers)."""
+        if self.spills:
+            raise RegisterFileOverflowError(
+                f"kernel needs {self.requested} registers/thread but "
+                f"{self.device.name} provides {self.limit}"
+            )
+
+
+def registers_for_matrix(
+    rows_per_thread: int,
+    cols_per_thread: int,
+    *,
+    complex_dtype: bool = False,
+    workspace: int = 6,
+    baseline: int = BASELINE_REGISTERS,
+) -> int:
+    """Registers per thread needed to hold a register-tile of a matrix.
+
+    ``rows_per_thread x cols_per_thread`` is the per-thread sub-matrix
+    (the whole matrix for one-problem-per-thread, HREG x WREG for the 2D
+    cyclic layout).  Complex elements take two registers.  ``workspace``
+    covers scalars such as the scale factor, norm accumulators, and loop
+    remnants that survive unrolling.
+    """
+    if rows_per_thread < 0 or cols_per_thread < 0:
+        raise ValueError("tile dimensions must be non-negative")
+    per_element = 2 if complex_dtype else 1
+    return baseline + workspace + per_element * rows_per_thread * cols_per_thread

@@ -1,0 +1,118 @@
+"""Banked shared-memory model.
+
+GF100 shared memory is organised as 32 banks of 4-byte words; successive
+words live in successive banks.  A warp's access completes in one pass
+when the 32 lanes touch 32 distinct banks (or broadcast-read a single
+word); otherwise the access is replayed once per additional word mapped to
+the same bank -- the *bank-conflict degree*.
+
+:class:`SharedMemory` is both a functional store (a NumPy-backed word
+array that kernels genuinely read and write, batched over simultaneous
+blocks) and a cost oracle (:meth:`conflict_degree`,
+:meth:`access_cycles`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SharedMemoryOverflowError
+from .device import DeviceSpec
+
+__all__ = ["SharedMemory", "conflict_degree"]
+
+
+def conflict_degree(addresses: Sequence[int], banks: int) -> int:
+    """Replay passes needed for one warp access to word ``addresses``.
+
+    Broadcast rule: lanes reading the *same word* are serviced together,
+    so the degree counts distinct words per bank, not lanes per bank.
+    An empty access costs one pass (degree 1) for uniformity.
+    """
+    addrs = np.unique(np.asarray(addresses, dtype=np.int64))
+    if addrs.size == 0:
+        return 1
+    bank_of = addrs % banks
+    counts = np.bincount(bank_of, minlength=banks)
+    return int(counts.max())
+
+
+class SharedMemory:
+    """Functional, batched shared-memory array for one thread block shape.
+
+    ``words`` 4-byte slots are allocated per block; ``batch`` independent
+    blocks execute in lockstep (the engine vectorizes identical
+    instruction streams across the batch), so storage is a
+    ``(batch, words)`` array.  Complex values occupy two word slots but,
+    for simplicity of the functional layer, are stored in a same-shape
+    complex array while the *cost* layer doubles the word count.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        words: int,
+        batch: int = 1,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        self.device = device
+        self.words = int(words)
+        self.batch = int(batch)
+        self.dtype = np.dtype(dtype)
+        word_bytes = 8 if self.dtype.kind == "c" else 4
+        footprint = self.words * word_bytes
+        if footprint > device.shared_mem_per_sm:
+            raise SharedMemoryOverflowError(
+                f"block requests {footprint} B of shared memory; "
+                f"{device.name} provides {device.shared_mem_per_sm} B per SM"
+            )
+        self.data = np.zeros((self.batch, self.words), dtype=self.dtype)
+
+    # ------------------------------------------------------------------
+    # Functional access (all-blocks-at-once, addressed per word slot)
+    # ------------------------------------------------------------------
+    def read(self, index: np.ndarray | Sequence[int] | int) -> np.ndarray:
+        """Read word slots ``index`` in every block: shape (batch, ...)."""
+        return self.data[:, index]
+
+    def write(self, index: np.ndarray | Sequence[int] | int, values) -> None:
+        """Write ``values`` (broadcastable over the batch) at ``index``."""
+        self.data[:, index] = values
+
+    @property
+    def bytes(self) -> int:
+        word_bytes = 8 if self.dtype.kind == "c" else 4
+        return self.words * word_bytes
+
+    # ------------------------------------------------------------------
+    # Cost oracle
+    # ------------------------------------------------------------------
+    def conflict_degree(self, lane_addresses: Sequence[int]) -> int:
+        """Replay degree of a single warp access at ``lane_addresses``."""
+        scale = 2 if self.dtype.kind == "c" else 1
+        addrs = np.asarray(lane_addresses, dtype=np.int64) * scale
+        return conflict_degree(addrs, self.device.shared_banks)
+
+    def access_cycles(
+        self,
+        lane_addresses: Optional[Sequence[int]] = None,
+        degree: Optional[int] = None,
+    ) -> int:
+        """Dependent-chain cycles for one warp-wide access.
+
+        The base cost is the device's shared load-to-use latency; each
+        additional conflict replay adds one LSU pass (modelled as one
+        extra pipeline-issue slot per replay, i.e. ``latency + degree-1``
+        -- replays are pipelined behind the first).
+        """
+        if degree is None:
+            degree = (
+                self.conflict_degree(lane_addresses)
+                if lane_addresses is not None
+                else 1
+            )
+        if degree < 1:
+            raise ValueError("conflict degree must be >= 1")
+        return self.device.shared_latency + (degree - 1)

@@ -1,0 +1,255 @@
+"""The SIMT block-execution engine.
+
+:class:`BlockEngine` is the substrate the device kernels
+(:mod:`repro.kernels.device`) run on.  A kernel is ordinary Python that
+
+* keeps its matrix in *register tiles* (NumPy arrays it owns),
+* moves data through :class:`~repro.gpu.shared_memory.SharedMemory`
+  objects allocated from the engine, and
+* reports every hardware event (FLOP groups, shared accesses, syncs,
+  global transfers) through the ``charge_*`` methods.
+
+Because the paper's kernels are branch-free (no pivoting; fully unrolled
+register code), *every block executes the identical instruction stream*.
+The engine exploits that: the functional state carries a leading batch
+dimension so thousands of problems are computed in one NumPy pass, while
+the cycle cost is accounted once per block.
+
+Cost model (this repo's "measured"):
+
+* a group of ``k`` dependent FP ops per thread costs ``k * gamma``
+  (plus the spill penalty if the kernel's registers exceed the
+  architectural limit),
+* a shared access costs the load-to-use latency plus bank-conflict
+  replays,
+* ``__syncthreads`` costs the Figure-2 curve at the block's thread count,
+* global transfers cost the block's share of achieved DRAM bandwidth
+  given how many blocks are resident (Table V's overlap effect),
+* every charge call adds a small bookkeeping overhead (address
+  arithmetic, loop remnants) -- the "measured overhead" wedge of
+  Figure 8.  The analytic model of :mod:`repro.model` omits it; the gap
+  between the two is part of the reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Literal, Optional
+
+import numpy as np
+
+from .clock import CycleBreakdown, CycleClock
+from .device import DeviceSpec
+from .instructions import InstructionCosts, costs_for
+from .memory_system import MemorySystem
+from .occupancy import Occupancy, occupancy
+from .registers import RegisterAllocation
+from .shared_memory import SharedMemory
+from .warp import warps_in_block
+
+__all__ = ["BlockEngine", "LaunchResult"]
+
+#: Cycles of bookkeeping (address arithmetic, loop tail) charged per
+#: charge-event when overhead accounting is on.
+OVERHEAD_PER_EVENT = 6
+#: Cycles for reading the ``clock()`` register around a measured phase.
+MEASUREMENT_OVERHEAD = 72
+#: Cycles per spilled register-operand access.  Spilled slots live in
+#: local memory behind the L1; in a dependent chain each access exposes a
+#: large fraction of the L1 latency that register operands would hide.
+SPILL_ACCESS_CYCLES = 30
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchResult:
+    """Timing summary of one kernel execution."""
+
+    device: DeviceSpec
+    occupancy: Occupancy
+    cycles: float
+    breakdown: CycleBreakdown
+    phase_totals: dict
+    flops_per_block: float
+
+    @property
+    def seconds_per_block(self) -> float:
+        return self.device.cycles_to_seconds(self.cycles)
+
+    def throughput_gflops(self, num_problems: Optional[int] = None) -> float:
+        """Whole-chip GFLOP/s processing ``num_problems`` problems.
+
+        With ``num_problems=None`` the steady-state rate is returned
+        (enough problems to fill every resident block slot).  Otherwise
+        the batch is processed in waves of ``blocks_per_chip`` problems
+        and partially-filled final waves lower the rate, exactly like a
+        real launch.
+        """
+        resident = self.occupancy.blocks_per_chip
+        per_block_s = self.seconds_per_block
+        if num_problems is None:
+            return self.flops_per_block * resident / per_block_s / 1e9
+        if num_problems < 1:
+            raise ValueError("need at least one problem")
+        waves = -(-num_problems // resident)
+        total_s = waves * per_block_s
+        return self.flops_per_block * num_problems / total_s / 1e9
+
+
+class BlockEngine:
+    """Cost-accounting execution context for one batched thread block."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        threads_per_block: int,
+        registers_per_thread: int,
+        batch: int = 1,
+        dtype=np.float32,
+        fast_math: bool = True,
+        account_overhead: bool = True,
+        allow_spill: bool = True,
+        trace: bool = False,
+    ) -> None:
+        self.device = device
+        self.threads = int(threads_per_block)
+        self.batch = int(batch)
+        self.dtype = np.dtype(dtype)
+        self.fast_math = bool(fast_math)
+        self.account_overhead = bool(account_overhead)
+        self.costs: InstructionCosts = costs_for(device)
+        # GF100 executes double precision at half the single-precision
+        # rate, and the SFU fast paths are SP-only -- DP divides/sqrts
+        # take the precise path's latency regardless of fast_math.
+        double = self.dtype in (np.dtype(np.float64), np.dtype(np.complex128))
+        self.precision_factor = 2 if double else 1
+        self.memory = MemorySystem(device)
+        self.clock = CycleClock(trace=trace)
+        self.registers = RegisterAllocation(device, registers_per_thread)
+        if not allow_spill:
+            self.registers.require_resident()
+        self.warps = warps_in_block(device, self.threads)
+        self._shared_words = 0
+        self._shared_arrays: list[SharedMemory] = []
+        self._useful_flops = 0.0
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+    def allocate_shared(self, words: int, dtype=None) -> SharedMemory:
+        """Allocate a batched shared-memory array of ``words`` slots."""
+        mem = SharedMemory(
+            self.device, words, batch=self.batch, dtype=dtype or self.dtype
+        )
+        self._shared_words += words * (2 if np.dtype(mem.dtype).kind == "c" else 1)
+        self._shared_arrays.append(mem)
+        return mem
+
+    @property
+    def shared_bytes(self) -> int:
+        return self._shared_words * 4
+
+    @property
+    def occupancy(self) -> Occupancy:
+        return occupancy(
+            self.device,
+            self.threads,
+            self.registers.granted(),
+            self.shared_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Cost charges
+    # ------------------------------------------------------------------
+    def _overhead(self, events: int = 1) -> None:
+        if self.account_overhead and events > 0:
+            self.clock.charge(OVERHEAD_PER_EVENT * events, "overhead")
+
+    def charge_flops(
+        self,
+        ops_per_thread: float,
+        *,
+        useful_flops: Optional[float] = None,
+        count_spill: bool = True,
+    ) -> None:
+        """Charge a group of dependent FP instructions (FMA = one op).
+
+        ``useful_flops`` is the algorithmic FLOP credit for the whole
+        block (defaults to ``ops_per_thread * threads``; pass the real
+        figure when threads are partially idle or an FMA does 2 FLOPs).
+        """
+        if ops_per_thread < 0:
+            raise ValueError("negative op count")
+        self.clock.charge(
+            ops_per_thread * self.costs.fma * self.precision_factor, "compute"
+        )
+        if count_spill and self.registers.spills:
+            accesses = 2.0 * ops_per_thread * self.registers.spill_fraction
+            self.clock.charge(accesses * SPILL_ACCESS_CYCLES, "overhead")
+        self._useful_flops += (
+            useful_flops if useful_flops is not None else ops_per_thread * self.threads
+        )
+        self._overhead()
+
+    def charge_div(self, count: int = 1, useful_flops: Optional[float] = None) -> None:
+        fast = self.fast_math and self.precision_factor == 1
+        self.clock.charge(
+            count * self.costs.div(fast) * self.precision_factor, "compute"
+        )
+        self._useful_flops += useful_flops if useful_flops is not None else count
+        self._overhead()
+
+    def charge_sqrt(self, count: int = 1, useful_flops: Optional[float] = None) -> None:
+        fast = self.fast_math and self.precision_factor == 1
+        self.clock.charge(
+            count * self.costs.sqrt(fast) * self.precision_factor, "compute"
+        )
+        self._useful_flops += useful_flops if useful_flops is not None else count
+        self._overhead()
+
+    def charge_shared(
+        self, words_per_thread: float, degree: int = 1, writes: bool = False
+    ) -> None:
+        """Charge ``words_per_thread`` dependent shared accesses."""
+        if words_per_thread < 0:
+            raise ValueError("negative word count")
+        per_access = self.device.shared_latency + (degree - 1)
+        self.clock.charge(words_per_thread * per_access, "shared")
+        self._overhead()
+
+    def sync(self) -> None:
+        """Charge one ``__syncthreads`` at this block's thread count."""
+        self.clock.charge(self.device.sync_latency(self.threads), "sync")
+
+    def charge_global(
+        self,
+        bytes_per_block: float,
+        kind: Literal["read", "copy", "memcpy"] = "copy",
+    ) -> None:
+        """Charge a DRAM transfer, contended by all resident blocks."""
+        resident = self.occupancy.blocks_per_chip
+        cycles = self.memory.block_transfer_cycles(bytes_per_block, resident, kind=kind)
+        self.clock.charge(cycles, "global")
+
+    def charge_measurement(self) -> None:
+        """Charge the ``clock()``-readout overhead around a timed phase."""
+        if self.account_overhead:
+            self.clock.charge(MEASUREMENT_OVERHEAD, "overhead")
+
+    def phase(self, name: str) -> Iterator[None]:
+        """Label subsequent charges for per-phase breakdowns (Figure 8)."""
+        return self.clock.phase(name)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, flops_per_block: Optional[float] = None) -> LaunchResult:
+        return LaunchResult(
+            device=self.device,
+            occupancy=self.occupancy,
+            cycles=self.clock.now,
+            breakdown=self.clock.breakdown(),
+            phase_totals=self.clock.phase_totals(),
+            flops_per_block=(
+                flops_per_block if flops_per_block is not None else self._useful_flops
+            ),
+        )

@@ -1,0 +1,58 @@
+"""Address-translation (TLB) model.
+
+GPUs translate device addresses through large pages; once a pointer-chase
+stride exceeds the page size the chase touches a new page each hop, and
+once the touched working set exceeds the TLB reach every hop adds a
+translation miss on top of the DRAM access.  This produces the final step
+of the Figure-1 latency staircase.
+
+A fully-associative LRU TLB is accurate enough at these granularities.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .device import DeviceSpec
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """Fully-associative, true-LRU translation cache."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.page_bytes = device.page_bytes
+        self.entries = device.tlb_entries
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, byte_address: int) -> bool:
+        """Translate ``byte_address``; True on TLB hit, False on miss."""
+        page = byte_address // self.page_bytes
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self._pages[page] = None
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        self.misses += 1
+        return False
+
+    @property
+    def reach_bytes(self) -> int:
+        """Total address range the TLB can map at once."""
+        return self.entries * self.page_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

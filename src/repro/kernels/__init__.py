@@ -1,0 +1,2 @@
+"""Linear-algebra kernels: batched NumPy numerics (:mod:`.batched`) and
+device kernels with cycle accounting (:mod:`.device`)."""

@@ -1,0 +1,93 @@
+"""Batched numerics: the algorithms of Section III, vectorized over the
+problem dimension, plus the motivating-application extensions (batched
+GEMM for speech, Jacobi eigensolver for MRI)."""
+
+from .alternatives import (
+    QrExplicit,
+    cholesky_factor,
+    cholesky_qr,
+    givens_qr,
+    gram_schmidt_qr,
+    modified_gram_schmidt_qr,
+)
+from .blocked_qr import BlockedQrFactors, blocked_qr_factor, build_t_factor
+from .diagnostics import condition_estimate, lu_growth_factor
+from .eigen import EighResult, jacobi_eigh
+from .gauss_jordan import (
+    GaussJordanResult,
+    gauss_jordan_invert,
+    gauss_jordan_solve,
+)
+from .least_squares import LeastSquaresResult, least_squares
+from .lu import (
+    LuResult,
+    PivotedLuResult,
+    lu_factor,
+    lu_factor_pivot,
+    lu_solve,
+    lu_solve_pivot,
+)
+from .matmul import batched_matmul
+from .problems import (
+    diagonally_dominant_batch,
+    hermitian_batch,
+    random_batch,
+    rhs_batch,
+)
+from .qr import QrFactors, apply_qt, qr_factor, qr_solve, qr_unpack
+from .svd import SvdResult, jacobi_svd
+from .trsm import solve_lower, solve_lower_unit, solve_upper
+from .validate import (
+    lu_reconstruction_error,
+    orthogonality_error,
+    qr_reconstruction_error,
+    solve_residual,
+    triangular_error,
+)
+
+__all__ = [
+    "QrExplicit",
+    "cholesky_factor",
+    "cholesky_qr",
+    "givens_qr",
+    "gram_schmidt_qr",
+    "modified_gram_schmidt_qr",
+    "BlockedQrFactors",
+    "blocked_qr_factor",
+    "build_t_factor",
+    "condition_estimate",
+    "lu_growth_factor",
+    "EighResult",
+    "jacobi_eigh",
+    "GaussJordanResult",
+    "gauss_jordan_invert",
+    "gauss_jordan_solve",
+    "LeastSquaresResult",
+    "least_squares",
+    "LuResult",
+    "PivotedLuResult",
+    "lu_factor",
+    "lu_factor_pivot",
+    "lu_solve",
+    "lu_solve_pivot",
+    "batched_matmul",
+    "diagonally_dominant_batch",
+    "hermitian_batch",
+    "random_batch",
+    "rhs_batch",
+    "QrFactors",
+    "SvdResult",
+    "jacobi_svd",
+    "apply_qt",
+    "qr_factor",
+    "qr_solve",
+    "qr_unpack",
+    "solve_lower",
+    "solve_lower_unit",
+    "solve_upper",
+    "lu_reconstruction_error",
+    "orthogonality_error",
+    "qr_reconstruction_error",
+    "solve_residual",
+    "triangular_error",
+]

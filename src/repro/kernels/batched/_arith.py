@@ -1,0 +1,68 @@
+"""Arithmetic mode selection for the batched kernels.
+
+Every kernel takes ``fast_math=True`` (the paper compiles with
+``--use_fast_math``): division and square root then go through the
+22-mantissa-bit hardware emulation of :mod:`repro.gpu.fastmath`; with
+``fast_math=False`` they are IEEE-rounded.  Adds/multiplies/FMAs are
+exact-rounded either way, as on the hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from ...gpu import fastmath
+
+__all__ = ["ArithmeticMode", "arithmetic_mode"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArithmeticMode:
+    """Bundle of divide / sqrt / reciprocal implementations."""
+
+    fast: bool
+    divide: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    sqrt: Callable[[np.ndarray], np.ndarray]
+    reciprocal: Callable[[np.ndarray], np.ndarray]
+
+
+def _ieee_divide(a, b):
+    return a / b
+
+
+def _ieee_sqrt(x):
+    return np.sqrt(x)
+
+
+def _ieee_reciprocal(x):
+    return 1.0 / x
+
+
+def _fast_divide_any(a, b):
+    """Fast divide that also accepts a complex numerator over a real or
+    complex denominator (lowered to real reciprocals, like the compiler)."""
+    b = np.asarray(b)
+    if b.dtype.kind == "c":
+        # z / w = z * conj(w) * rcp(|w|^2)
+        denom = (b.real * b.real + b.imag * b.imag).astype(b.real.dtype)
+        return np.asarray(a) * b.conj() * fastmath.fast_reciprocal(denom)
+    return np.asarray(a) * fastmath.fast_reciprocal(b)
+
+
+def arithmetic_mode(fast_math: bool) -> ArithmeticMode:
+    if fast_math:
+        return ArithmeticMode(
+            fast=True,
+            divide=_fast_divide_any,
+            sqrt=fastmath.fast_sqrt,
+            reciprocal=fastmath.fast_reciprocal,
+        )
+    return ArithmeticMode(
+        fast=False,
+        divide=_ieee_divide,
+        sqrt=_ieee_sqrt,
+        reciprocal=_ieee_reciprocal,
+    )

@@ -1,0 +1,136 @@
+"""Batched Hermitian eigensolver (cyclic Jacobi).
+
+The MRI-reconstruction motivation from Section I: "up to a billion small
+(8x8 or 32x32) complex eigenvalue problems, one for each voxel".  The
+paper does not implement an eigensolver; this is the documented
+extension, using the one algorithm whose schedule is data-independent --
+cyclic Jacobi -- so the whole batch rotates in lockstep, exactly the
+property that makes it GPU-register friendly.
+
+Each sweep visits every (p, q) pair once; rotations with a negligible
+off-diagonal element degenerate to the identity (branch-free masking, not
+control flow).  Convergence is quadratic once the matrix is nearly
+diagonal; 8-12 sweeps suffice for n <= 64 at single precision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ...errors import ShapeError
+from .validate import as_batch, check_square_batch
+
+__all__ = ["EighResult", "jacobi_eigh"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EighResult:
+    """Eigenvalues (ascending) and eigenvectors (columns)."""
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    sweeps_used: int
+    off_diagonal_norm: float
+
+
+def _rotate(a: np.ndarray, v: np.ndarray, p: int, q: int) -> None:
+    """One batched Jacobi rotation zeroing A[p, q] (in place)."""
+    app = a[:, p, p].real
+    aqq = a[:, q, q].real
+    apq = a[:, p, q]
+    abs_apq = np.abs(apq)
+    tiny = np.finfo(abs_apq.dtype).tiny
+    live = abs_apq > tiny
+
+    # Classic Jacobi angles, guarded so dead rotations become identity.
+    # Angle arithmetic runs in float64: theta ~ 1/|a_pq| can overflow the
+    # input precision, and for huge theta we use the t ~ 1/(2 theta) limit.
+    safe_apq = np.where(live, abs_apq, 1.0).astype(np.float64)
+    theta = (aqq.astype(np.float64) - app.astype(np.float64)) / (2.0 * safe_apq)
+    sign_theta = np.where(theta >= 0, 1.0, -1.0)
+    huge = np.abs(theta) > 1e100
+    theta_safe = np.where(huge, 1.0, theta)
+    t = np.where(
+        huge,
+        0.5 / np.where(huge, theta, 1.0),
+        sign_theta / (np.abs(theta_safe) + np.sqrt(1.0 + theta_safe * theta_safe)),
+    )
+    c = 1.0 / np.sqrt(1.0 + t * t)
+    s_mag = t * c
+    c = np.where(live, c, 1.0)
+    s_mag = np.where(live, s_mag, 0.0)
+
+    # The rotation's off-diagonal phase carries arg(a_pq) -- for real
+    # inputs this reduces to sign(a_pq), which is just as essential.
+    phase = np.where(live, apq / np.where(live, abs_apq, 1.0), 1.0)
+    s = (s_mag * phase).astype(a.dtype)
+    c = c.astype(a.real.dtype)
+
+    # A <- J^H A J with J = I except J[pp]=c, J[pq]=s, J[qp]=-conj(s), J[qq]=c.
+    col_p = a[:, :, p].copy()
+    col_q = a[:, :, q].copy()
+    a[:, :, p] = c[:, None] * col_p - np.conj(s)[:, None] * col_q
+    a[:, :, q] = s[:, None] * col_p + c[:, None] * col_q
+    row_p = a[:, p, :].copy()
+    row_q = a[:, q, :].copy()
+    a[:, p, :] = c[:, None] * row_p - s[:, None] * row_q
+    a[:, q, :] = np.conj(s)[:, None] * row_p + c[:, None] * row_q
+
+    vcol_p = v[:, :, p].copy()
+    vcol_q = v[:, :, q].copy()
+    v[:, :, p] = c[:, None] * vcol_p - np.conj(s)[:, None] * vcol_q
+    v[:, :, q] = s[:, None] * vcol_p + c[:, None] * vcol_q
+
+
+def _off_norm(a: np.ndarray) -> float:
+    n = a.shape[1]
+    mask = ~np.eye(n, dtype=bool)
+    return float(np.sqrt((np.abs(a[:, mask]) ** 2).sum(axis=1)).max())
+
+
+def jacobi_eigh(
+    a: np.ndarray, max_sweeps: int = 16, tol: float | None = None
+) -> EighResult:
+    """Eigendecomposition of a batch of Hermitian matrices.
+
+    ``a``: ``(batch, n, n)`` Hermitian (symmetric for real dtypes).
+    Returns ascending eigenvalues and the corresponding eigenvector
+    columns; ``A @ V == V @ diag(w)`` up to the dtype's precision.
+    """
+    a = as_batch(a)
+    check_square_batch(a)
+    herm_err = np.abs(a - np.swapaxes(a.conj(), 1, 2)).max()
+    scale = max(1.0, float(np.abs(a).max()))
+    if herm_err > 1e-4 * scale:
+        raise ShapeError(f"input is not Hermitian (asymmetry {herm_err:.2e})")
+    if max_sweeps < 1:
+        raise ValueError("need at least one sweep")
+
+    batch, n, _ = a.shape
+    v = np.zeros_like(a)
+    idx = np.arange(n)
+    v[:, idx, idx] = 1
+    if tol is None:
+        tol = 50 * np.finfo(a.real.dtype).eps * scale
+
+    sweeps = 0
+    for sweep in range(max_sweeps):
+        sweeps = sweep + 1
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                _rotate(a, v, p, q)
+        if _off_norm(a) <= tol:
+            break
+
+    w = a[:, idx, idx].real.copy()
+    order = np.argsort(w, axis=1)
+    w_sorted = np.take_along_axis(w, order, axis=1)
+    v_sorted = np.take_along_axis(v, order[:, None, :], axis=2)
+    return EighResult(
+        eigenvalues=w_sorted,
+        eigenvectors=v_sorted,
+        sweeps_used=sweeps,
+        off_diagonal_norm=_off_norm(a),
+    )

@@ -1,0 +1,66 @@
+"""Batched least squares via QR (Section III-D).
+
+``min ||Ax - b||`` is solved by rewriting the normal equations in terms
+of Q and R: factor A, apply ``Q^H`` to b (by appending b to the right of
+the matrix during the factorization, as the paper does), and solve the
+upper-triangular system ``R x = Q^H b``.  "Note that this is more
+numerically stable than solving the normal equations directly."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ...errors import ShapeError
+from .qr import _householder_sweep
+from .trsm import solve_upper
+from .validate import as_batch, check_tall_batch
+
+__all__ = ["LeastSquaresResult", "least_squares"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LeastSquaresResult:
+    """Solution plus the residual norms the factorization yields for free."""
+
+    x: np.ndarray
+    #: Per-problem ||Ax - b||_2 (from the bottom of Q^H b), per RHS.
+    residual_norms: np.ndarray
+
+
+def least_squares(
+    a: np.ndarray, b: np.ndarray, fast_math: bool = True
+) -> LeastSquaresResult:
+    """Solve tall least-squares problems ``min ||Ax - b||`` in a batch.
+
+    ``a``: ``(batch, m, n)`` with ``m >= n``; ``b``: ``(batch, m)`` or
+    ``(batch, m, nrhs)``.
+    """
+    a = as_batch(a)
+    check_tall_batch(a)
+    batch, m, n = a.shape
+    b_arr = np.asarray(b, dtype=a.dtype)
+    squeeze = b_arr.ndim == 2
+    if squeeze:
+        b_arr = b_arr[..., None]
+    if b_arr.ndim != 3 or b_arr.shape[:2] != (batch, m):
+        raise ShapeError(
+            f"rhs shape {np.asarray(b).shape} does not match problems {a.shape}"
+        )
+
+    aug = np.concatenate([a, b_arr], axis=2)
+    aug, _ = _householder_sweep(aug, n, fast_math)
+    qtb = aug[:, :, n:]
+    r = np.triu(aug[:, :n, :n])
+    x = solve_upper(r, qtb[:, :n, :], fast_math=fast_math)
+    # The trailing rows of Q^H b are the residual in the factored basis.
+    tail = qtb[:, n:, :]
+    residual_norms = np.linalg.norm(tail, axis=1) if m > n else np.zeros(
+        (batch, qtb.shape[2]), dtype=a.real.dtype
+    )
+    if squeeze:
+        x = x[..., 0]
+        residual_norms = residual_norms[..., 0]
+    return LeastSquaresResult(x=x, residual_norms=residual_norms)

@@ -1,0 +1,84 @@
+"""Batched triangular solves (forward / backward substitution).
+
+Building blocks for LU solves (Section III-B) and the least-squares
+``R x = Q^H b`` step (Section III-D).  All routines are vectorized over
+the batch and sweep rows serially, like the register-file kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ._arith import arithmetic_mode
+
+__all__ = ["solve_upper", "solve_lower", "solve_lower_unit"]
+
+
+def _restore(x: np.ndarray, squeeze: bool, unbatch: bool) -> np.ndarray:
+    """Undo the batch/vector promotions applied by :func:`_prep`."""
+    if squeeze:
+        x = x[..., 0]
+    if unbatch:
+        x = x[0]
+    return x
+
+
+def _prep(t: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray, bool, bool]:
+    t = np.asarray(t)
+    b = np.asarray(b)
+    unbatch = t.ndim == 2
+    if unbatch:
+        # A single factor: its right-hand side is a vector or matrix,
+        # promoted to a batch of one alongside it (and stripped again on
+        # the way out).
+        t = t[None]
+        if b.ndim <= 2:
+            b = b[None]
+    if t.ndim != 3 or t.shape[1] != t.shape[2]:
+        raise ShapeError(f"expected (batch, n, n) triangular factors, got {t.shape}")
+    squeeze = b.ndim == t.ndim - 1
+    if squeeze:
+        b = b[..., None]
+    if b.ndim != 3 or b.shape[0] != t.shape[0] or b.shape[1] != t.shape[1]:
+        raise ShapeError(f"rhs shape {b.shape} does not match factors {t.shape}")
+    dtype = np.result_type(t.dtype, b.dtype)
+    return t.astype(dtype, copy=False), b.astype(dtype, copy=True), squeeze, unbatch
+
+
+def solve_upper(r: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.ndarray:
+    """Back substitution: solve ``R x = b`` with upper-triangular ``R``."""
+    r, x, squeeze, unbatch = _prep(r, b)
+    mode = arithmetic_mode(fast_math)
+    n = r.shape[1]
+    for i in range(n - 1, -1, -1):
+        if i + 1 < n:
+            x[:, i, :] -= np.einsum("bk,bkr->br", r[:, i, i + 1 :], x[:, i + 1 :, :])
+        x[:, i, :] = mode.divide(x[:, i, :], r[:, i, i][:, None])
+    return _restore(x, squeeze, unbatch)
+
+
+def solve_lower(l: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.ndarray:
+    """Forward substitution: solve ``L x = b`` with lower-triangular ``L``."""
+    l, x, squeeze, unbatch = _prep(l, b)
+    mode = arithmetic_mode(fast_math)
+    n = l.shape[1]
+    for i in range(n):
+        if i > 0:
+            x[:, i, :] -= np.einsum("bk,bkr->br", l[:, i, :i], x[:, :i, :])
+        x[:, i, :] = mode.divide(x[:, i, :], l[:, i, i][:, None])
+    return _restore(x, squeeze, unbatch)
+
+
+def solve_lower_unit(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Forward substitution with an implicit unit diagonal (LU's ``L``).
+
+    The strict lower triangle of ``l`` is used; the diagonal is taken to
+    be 1 (as stored by :func:`repro.kernels.batched.lu.lu_factor`), so no
+    divisions are needed.
+    """
+    l, x, squeeze, unbatch = _prep(l, b)
+    n = l.shape[1]
+    for i in range(1, n):
+        x[:, i, :] -= np.einsum("bk,bkr->br", l[:, i, :i], x[:, :i, :])
+    return _restore(x, squeeze, unbatch)

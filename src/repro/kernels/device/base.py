@@ -1,0 +1,246 @@
+"""Shared infrastructure for the one-problem-per-block device kernels.
+
+A device kernel holds the matrix batch in *register tiles* --
+``tiles[b, ti, tj, ii, jj]`` is the element ``A[b, ti + ii*r, tj +
+jj*r]`` owned by thread ``(ti, tj)`` of the ``r x r`` grid (the 2D cyclic
+layout of Listing 4).  All blocks execute the same branch-free
+instruction stream, so the batch axis is vectorized while the
+:class:`~repro.gpu.simt.BlockEngine` accounts cycles once per block.
+
+The helpers here implement the distributed primitives every
+factorization uses:
+
+* extracting/depositing a global column (or row) slice of the tiles,
+* per-thread partial reductions followed by the serial cross-thread
+  reduction of Table VI,
+* the tile-space rank-1 update ``tiles[b,ti,tj,ii,jj] -= V[b,ti,ii] *
+  W[b,tj,jj]`` (a broadcast of two shared-memory vectors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ...gpu.clock import CycleBreakdown
+from ...gpu.device import QUADRO_6000, DeviceSpec
+from ...gpu.simt import BlockEngine, LaunchResult
+from ...layouts.cyclic2d import Cyclic2D
+from ...model.block_config import BlockConfig, block_config
+
+__all__ = ["BlockKernel", "DeviceKernelResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceKernelResult:
+    """Output of a device-kernel run: numerics plus timing."""
+
+    #: Gathered numerical output, shape (batch, m, n).
+    output: np.ndarray
+    #: Engine timing for one block (identical across the batch).
+    launch: LaunchResult
+    #: Problems in the batch.
+    batch: int
+    #: Algorithmic FLOPs per problem (paper conventions).
+    flops_per_problem: float
+    #: Optional second output (e.g. solution vectors, taus).
+    extra: Optional[np.ndarray] = None
+
+    @property
+    def cycles(self) -> float:
+        return self.launch.cycles
+
+    @property
+    def breakdown(self) -> CycleBreakdown:
+        return self.launch.breakdown
+
+    @property
+    def gflops(self) -> float:
+        """Whole-chip throughput over this batch (Section V-D recipe)."""
+        return self.launch.throughput_gflops(self.batch)
+
+    def phase_cycles(self, prefix: str = "") -> dict[str, float]:
+        """Phase totals, optionally filtered by label prefix."""
+        return {
+            k: v
+            for k, v in self.launch.phase_totals.items()
+            if k.startswith(prefix)
+        }
+
+    def panel_breakdown(self) -> list[dict[str, float]]:
+        """Per-panel cycles per operation (Figure 8 left, 'measured').
+
+        Phase labels are ``panel{p}:{op name}``.
+        """
+        panels: dict[int, dict[str, float]] = {}
+        for label, cycles in self.launch.phase_totals.items():
+            if not label.startswith("panel"):
+                continue
+            head, _, op = label.partition(":")
+            index = int(head[len("panel") :])
+            panels.setdefault(index, {})[op] = (
+                panels.get(index, {}).get(op, 0.0) + cycles
+            )
+        return [panels[k] for k in sorted(panels)]
+
+
+class BlockKernel:
+    """Execution context binding tiles, shared buffers, and the engine."""
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        device: DeviceSpec = QUADRO_6000,
+        config: Optional[BlockConfig] = None,
+        fast_math: bool = True,
+        account_overhead: bool = True,
+        extra_shared_words: int = 0,
+    ) -> None:
+        a = np.asarray(a)
+        if a.ndim == 2:
+            a = a[None]
+        if a.ndim != 3:
+            raise ValueError(f"expected (batch, m, n) input, got shape {a.shape}")
+        self.batch, self.m, self.n = a.shape
+        self.dtype = a.dtype
+        self.complex = np.iscomplexobj(a)
+        self.cfg = config or block_config(self.m, self.n, complex_dtype=self.complex)
+        self.device = device
+        self.fast_math = fast_math
+        self.layout = Cyclic2D(self.m, self.n, self.cfg.threads)
+        self.r = self.cfg.rdim
+
+        self.engine = BlockEngine(
+            device,
+            threads_per_block=self.cfg.threads,
+            registers_per_thread=self.cfg.registers_per_thread,
+            batch=self.batch,
+            dtype=self.dtype,
+            fast_math=fast_math,
+            account_overhead=account_overhead,
+        )
+        # Shared memory: the l (column, length m) and u/w (row, length n)
+        # vectors plus a scalar slot, as in Listings 5-7.
+        self.sh_col = self.engine.allocate_shared(self.layout.hreg * self.r)
+        self.sh_row = self.engine.allocate_shared(self.layout.wreg * self.r)
+        self.sh_scalar = self.engine.allocate_shared(4)
+        if extra_shared_words:
+            self.sh_extra = self.engine.allocate_shared(extra_shared_words)
+
+        # Load the matrix into the register tiles (Listing 4).
+        # Loads and stores both run at the copy-stream rate: the loader's
+        # strided pattern (Listing 4) does not reach the pure-read peak.
+        with self.engine.phase("load"):
+            self.tiles = self.layout.scatter(a)
+            self.engine.charge_global(self._matrix_bytes(), kind="copy")
+        # Global index helpers: i_of[ti, ii] = ti + ii*r.
+        self.row_index = (
+            np.arange(self.r)[:, None] + self.r * np.arange(self.layout.hreg)[None, :]
+        )
+        self.col_index = (
+            np.arange(self.r)[:, None] + self.r * np.arange(self.layout.wreg)[None, :]
+        )
+
+    # ------------------------------------------------------------------
+    def _matrix_bytes(self) -> int:
+        word = 8 if self.complex else 4
+        return self.m * self.n * word
+
+    def column_tile_rows(self, j: int) -> int:
+        """N: per-thread rows of the active column (Table VI's N)."""
+        return max(1, self.layout.hreg - j // self.r)
+
+    # ------------------------------------------------------------------
+    # Distributed primitives (functional + cost in one place)
+    # ------------------------------------------------------------------
+    def extract_column(self, j: int, row_start: int) -> np.ndarray:
+        """Column ``j`` entries with global row >= row_start, as a dense
+        (batch, m') vector in global row order (m' = m - row_start)."""
+        gathered = self.tiles[:, :, j % self.r, :, j // self.r]  # (b, ti, ii)
+        flat = np.zeros((self.batch, self.layout.hreg * self.r), dtype=self.dtype)
+        flat[:, self.row_index.ravel()] = gathered.reshape(self.batch, -1)
+        return flat[:, row_start : self.m]
+
+    def deposit_column(self, j: int, row_start: int, values: np.ndarray) -> None:
+        """Write ``values`` back into column ``j`` from ``row_start`` down."""
+        flat = np.zeros((self.batch, self.layout.hreg * self.r), dtype=self.dtype)
+        gathered = self.tiles[:, :, j % self.r, :, j // self.r]
+        flat[:, self.row_index.ravel()] = gathered.reshape(self.batch, -1)
+        flat[:, row_start : self.m] = values
+        self.tiles[:, :, j % self.r, :, j // self.r] = flat[
+            :, self.row_index.ravel()
+        ].reshape(self.batch, self.r, self.layout.hreg)
+
+    def extract_row(self, i: int, col_start: int) -> np.ndarray:
+        """Row ``i`` entries with global column >= col_start."""
+        gathered = self.tiles[:, i % self.r, :, i // self.r, :]  # (b, tj, jj)
+        flat = np.zeros((self.batch, self.layout.wreg * self.r), dtype=self.dtype)
+        flat[:, self.col_index.ravel()] = gathered.reshape(self.batch, -1)
+        return flat[:, col_start : self.n]
+
+    def deposit_row(self, i: int, col_start: int, values: np.ndarray) -> None:
+        """Write ``values`` back into row ``i`` from ``col_start`` right."""
+        flat = np.zeros((self.batch, self.layout.wreg * self.r), dtype=self.dtype)
+        gathered = self.tiles[:, i % self.r, :, i // self.r, :]
+        flat[:, self.col_index.ravel()] = gathered.reshape(self.batch, -1)
+        flat[:, col_start : self.n] = values
+        self.tiles[:, i % self.r, :, i // self.r, :] = flat[
+            :, self.col_index.ravel()
+        ].reshape(self.batch, self.r, self.layout.wreg)
+
+    def serial_reduction(self, partials: np.ndarray) -> np.ndarray:
+        """Reduce per-thread partials (batch, r) serially, charging
+        Table VI's ``(1 + sqrt p) beta + sqrt p gamma``."""
+        cost = 2 if self.complex else 1
+        self.engine.charge_shared(self.r + 1)
+        self.engine.charge_flops(self.r * cost, useful_flops=0)
+        acc = partials[:, 0].copy()
+        for t in range(1, partials.shape[1]):
+            acc = acc + partials[:, t]
+        return acc
+
+    def rank1_update(
+        self,
+        col_vec: np.ndarray,
+        row_vec: np.ndarray,
+        row_start: int,
+        col_start: int,
+        subtract: bool = True,
+    ) -> None:
+        """tiles[i, j] -= col_vec[i] * row_vec[j] for i >= row_start,
+        j >= col_start -- the Listing-7 update, in tile space.
+
+        ``col_vec``: (batch, m) in global row order (entries below
+        ``row_start`` ignored); ``row_vec``: (batch, n) likewise.
+        """
+        vfull = np.zeros((self.batch, self.layout.hreg * self.r), dtype=self.dtype)
+        vfull[:, row_start : self.m] = col_vec[:, row_start : self.m]
+        wfull = np.zeros((self.batch, self.layout.wreg * self.r), dtype=self.dtype)
+        wfull[:, col_start : self.n] = row_vec[:, col_start : self.n]
+        vt = vfull[:, self.row_index]  # (b, ti, ii)
+        wt = wfull[:, self.col_index]  # (b, tj, jj)
+        update = np.einsum("bth,bcw->btchw", vt, wt)
+        if subtract:
+            self.tiles -= update
+        else:
+            self.tiles += update
+
+    # ------------------------------------------------------------------
+    def store(self) -> np.ndarray:
+        """Gather the tiles back to (batch, m, n) and charge the store."""
+        with self.engine.phase("store"):
+            out = self.layout.gather(self.tiles)
+            self.engine.charge_global(self._matrix_bytes(), kind="copy")
+        return out
+
+    def result(self, output: np.ndarray, flops_per_problem: float, extra=None
+               ) -> DeviceKernelResult:
+        return DeviceKernelResult(
+            output=output,
+            launch=self.engine.result(flops_per_block=flops_per_problem),
+            batch=self.batch,
+            flops_per_problem=flops_per_problem,
+            extra=extra,
+        )

@@ -1,0 +1,292 @@
+"""Instruction-level emulation of the per-thread register kernels.
+
+The paper's one-problem-per-thread kernels are fully unrolled at compile
+time ("Register array indices must be known at compile time, so we unroll
+loops using ``#pragma unroll`` and C++ templates").  This module emulates
+that compilation: :func:`build_lu_program` / :func:`build_qr_program`
+emit the *straight-line instruction trace* such a kernel executes for one
+``n x n`` problem -- every register index a compile-time constant -- and
+:class:`ThreadInterpreter` runs the trace on a register file, vectorized
+over the batch (all threads execute the identical trace; that is the
+point of the mapping).
+
+What this buys beyond the analytic per-thread model:
+
+* **exact static counts** -- instructions, FLOPs, and the register
+  footprint come from the program artifact itself, validating the
+  Figure-4 spill threshold (7x7 fits the 64-register file; 8x8 does not)
+  instruction by instruction;
+* **a numerics cross-check** -- the interpreter's results match the
+  vectorized batched kernels (bitwise for LU, to rounding for QR whose
+  reductions may associate differently);
+* an observable artifact where "the compiler ran out of registers" is a
+  property you can inspect rather than a formula.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+import numpy as np
+
+from ...gpu import fastmath
+from ...gpu.device import DeviceSpec
+
+__all__ = [
+    "Instruction",
+    "ThreadProgram",
+    "ThreadInterpreter",
+    "build_lu_program",
+    "build_qr_program",
+]
+
+Opcode = Literal[
+    "load", "store", "mov", "add", "sub", "mul", "fma", "mulacc",
+    "rcp", "sqrt", "hbeta",
+]
+
+#: FLOPs credited per opcode (FMA-class ops do two).
+_FLOPS = {"add": 1, "sub": 1, "mul": 1, "fma": 2, "mulacc": 2, "rcp": 1,
+          "sqrt": 1, "hbeta": 1}
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One straight-line instruction; register indices are constants.
+
+    Semantics (``r`` is the register file):
+
+    ====== =====================================================
+    load   ``r[dst] = mem[mem_index]``
+    store  ``mem[mem_index] = r[dst]``
+    mov    ``r[dst] = r[a]``
+    add    ``r[dst] = r[a] + r[b]``
+    sub    ``r[dst] = r[a] - r[b]``
+    mul    ``r[dst] = r[a] * r[b]``
+    fma    ``r[dst] = r[c] - r[a] * r[b]``   (the update FMA)
+    mulacc ``r[dst] = r[c] + r[a] * r[b]``   (the reduction FMA)
+    rcp    ``r[dst] = 1 / r[a]``             (fast-math truncated)
+    sqrt   ``r[dst] = sqrt(r[a])``           (fast-math lowering)
+    hbeta  ``r[dst] = -copysign(r[b], r[a])``  (Householder beta)
+    ====== =====================================================
+    """
+
+    op: Opcode
+    dst: int
+    a: int = -1
+    b: int = -1
+    c: int = -1
+    mem: int = -1
+
+    def registers(self) -> tuple[int, ...]:
+        return tuple(r for r in (self.dst, self.a, self.b, self.c) if r >= 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreadProgram:
+    """A fully unrolled single-thread kernel."""
+
+    name: str
+    n: int
+    instructions: tuple[Instruction, ...]
+    #: Register index of matrix element (i, j): ``reg_of[i][j]``.
+    reg_of: tuple[tuple[int, ...], ...]
+    num_registers: int
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def flop_count(self) -> int:
+        return sum(_FLOPS.get(i.op, 0) for i in self.instructions)
+
+    @property
+    def arithmetic_instructions(self) -> int:
+        return sum(1 for i in self.instructions if i.op in _FLOPS)
+
+    def spills_on(self, device: DeviceSpec) -> bool:
+        return self.num_registers > device.max_registers_per_thread
+
+
+class _Emitter:
+    """Register allocator + instruction buffer for program builders."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.instructions: list[Instruction] = []
+        # Matrix elements occupy the first n*n registers, row-major --
+        # the "register array" of the CUDA templates.
+        self.reg_of = [[i * n + j for j in range(n)] for i in range(n)]
+        self._next = n * n
+
+    def temp(self) -> int:
+        reg = self._next
+        self._next += 1
+        return reg
+
+    def emit(self, op: Opcode, dst: int, a: int = -1, b: int = -1,
+             c: int = -1, mem: int = -1) -> None:
+        self.instructions.append(Instruction(op=op, dst=dst, a=a, b=b, c=c, mem=mem))
+
+    def emit_loads(self) -> None:
+        for i in range(self.n):
+            for j in range(self.n):
+                self.emit("load", self.reg_of[i][j], mem=i * self.n + j)
+
+    def emit_stores(self) -> None:
+        for i in range(self.n):
+            for j in range(self.n):
+                self.emit("store", self.reg_of[i][j], mem=i * self.n + j)
+
+    def finish(self, name: str) -> ThreadProgram:
+        return ThreadProgram(
+            name=name,
+            n=self.n,
+            instructions=tuple(self.instructions),
+            reg_of=tuple(tuple(r) for r in self.reg_of),
+            num_registers=self._next,
+        )
+
+
+def build_lu_program(n: int) -> ThreadProgram:
+    """Unrolled unpivoted LU for one n x n matrix in registers."""
+    if n < 1:
+        raise ValueError("matrix dimension must be positive")
+    e = _Emitter(n)
+    e.emit_loads()
+    scale = e.temp()
+    for k in range(n - 1):
+        e.emit("rcp", scale, e.reg_of[k][k])
+        for i in range(k + 1, n):
+            e.emit("mul", e.reg_of[i][k], e.reg_of[i][k], scale)
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                # A[i][j] -= A[i][k] * A[k][j]
+                e.emit("fma", e.reg_of[i][j],
+                       e.reg_of[i][k], e.reg_of[k][j], e.reg_of[i][j])
+    e.emit_stores()
+    return e.finish("lu")
+
+
+def build_qr_program(n: int) -> ThreadProgram:
+    """Unrolled Householder QR for one n x n matrix in registers.
+
+    Follows :func:`repro.kernels.batched.qr.qr_factor`'s arithmetic
+    (LAPACK convention, v0 = 1 implicit, fast-math rcp/sqrt lowering).
+    """
+    if n < 1:
+        raise ValueError("matrix dimension must be positive")
+    e = _Emitter(n)
+    e.emit_loads()
+    # Persistent scalars, reused across columns like the CUDA kernel's.
+    norm_sq = e.temp()
+    beta = e.temp()
+    tau = e.temp()
+    inv_denom = e.temp()
+    w = e.temp()
+    tmp = e.temp()
+    v = [e.temp() for _ in range(1, n)]  # v[1:] -- v0 is implicit 1
+
+    for k in range(n - 1):
+        alpha = e.reg_of[k][k]
+        # norm_sq = sum_{i>=k} A[i][k]^2, then norm via the sqrt lowering.
+        e.emit("mul", norm_sq, alpha, alpha)
+        for i in range(k + 1, n):
+            e.emit("mulacc", norm_sq, e.reg_of[i][k], e.reg_of[i][k], norm_sq)
+        e.emit("sqrt", tmp, norm_sq)          # tmp = norm
+        e.emit("hbeta", beta, alpha, tmp)     # beta = -copysign(norm, alpha)
+        # tau = (beta - alpha) * rcp(beta)
+        e.emit("sub", w, beta, alpha)
+        e.emit("rcp", tau, beta)
+        e.emit("mul", tau, w, tau)
+        # inv_denom = rcp(alpha - beta)
+        e.emit("sub", tmp, alpha, beta)
+        e.emit("rcp", inv_denom, tmp)
+        # v[i] = A[i][k] * inv_denom
+        for i in range(k + 1, n):
+            e.emit("mul", v[i - 1], e.reg_of[i][k], inv_denom)
+        # Trailing update, one column at a time.
+        for j in range(k + 1, n):
+            e.emit("mov", w, e.reg_of[k][j])
+            for i in range(k + 1, n):
+                e.emit("mulacc", w, v[i - 1], e.reg_of[i][j], w)
+            e.emit("mul", tmp, tau, w)
+            e.emit("sub", e.reg_of[k][j], e.reg_of[k][j], tmp)
+            for i in range(k + 1, n):
+                e.emit("fma", e.reg_of[i][j], tmp, v[i - 1], e.reg_of[i][j])
+        # Pack the factor: beta on the diagonal, v below it.
+        e.emit("mov", alpha, beta)
+        for i in range(k + 1, n):
+            e.emit("mov", e.reg_of[i][k], v[i - 1])
+    e.emit_stores()
+    return e.finish("qr")
+
+
+class ThreadInterpreter:
+    """Execute a :class:`ThreadProgram` over a batch of problems.
+
+    The register file is a ``(num_registers, batch)`` array: one lane per
+    problem, exactly how the SIMT hardware runs the same trace across
+    threads.  ``fast_math`` selects the truncated rcp/sqrt the paper's
+    builds use.
+    """
+
+    def __init__(self, program: ThreadProgram, fast_math: bool = True):
+        self.program = program
+        self.fast_math = fast_math
+        self.instructions_executed = 0
+
+    def run(self, matrices: np.ndarray) -> np.ndarray:
+        a = np.asarray(matrices)
+        if a.ndim == 2:
+            a = a[None]
+        n = self.program.n
+        if a.ndim != 3 or a.shape[1:] != (n, n):
+            raise ValueError(
+                f"program expects (batch, {n}, {n}) input, got {a.shape}"
+            )
+        batch = a.shape[0]
+        dtype = a.dtype
+        mem = a.reshape(batch, n * n).T.copy()  # (elements, batch)
+        regs = np.zeros((self.program.num_registers, batch), dtype=dtype)
+        out = np.empty_like(mem)
+
+        if self.fast_math:
+            rcp = fastmath.fast_reciprocal
+            sqrt = fastmath.fast_sqrt
+        else:
+            rcp = lambda x: (1.0 / x).astype(dtype)
+            sqrt = np.sqrt
+
+        for ins in self.program.instructions:
+            op = ins.op
+            if op == "load":
+                regs[ins.dst] = mem[ins.mem]
+            elif op == "store":
+                out[ins.mem] = regs[ins.dst]
+            elif op == "mov":
+                regs[ins.dst] = regs[ins.a]
+            elif op == "add":
+                regs[ins.dst] = regs[ins.a] + regs[ins.b]
+            elif op == "sub":
+                regs[ins.dst] = regs[ins.a] - regs[ins.b]
+            elif op == "mul":
+                regs[ins.dst] = regs[ins.a] * regs[ins.b]
+            elif op == "fma":
+                regs[ins.dst] = regs[ins.c] - regs[ins.a] * regs[ins.b]
+            elif op == "mulacc":
+                regs[ins.dst] = regs[ins.c] + regs[ins.a] * regs[ins.b]
+            elif op == "rcp":
+                with np.errstate(divide="ignore"):
+                    regs[ins.dst] = rcp(regs[ins.a])
+            elif op == "sqrt":
+                regs[ins.dst] = sqrt(regs[ins.a])
+            elif op == "hbeta":
+                regs[ins.dst] = -np.copysign(regs[ins.b], regs[ins.a])
+            else:  # pragma: no cover - opcodes are a closed set
+                raise ValueError(f"unknown opcode {op!r}")
+            self.instructions_executed += 1
+
+        return out.T.reshape(batch, n, n).copy()

@@ -1,0 +1,21 @@
+"""Distributed register-file data layouts and their costs (Section V-A)."""
+
+from .base import Layout
+from .column_cyclic import ColumnCyclic
+from .comm_volume import CommVolume, compare_volumes, qr_communication_volume
+from .cyclic2d import Cyclic2D
+from .qr_cost import LayoutCostEstimate, compare_layouts, estimate_qr_solve
+from .row_cyclic import RowCyclic
+
+__all__ = [
+    "Layout",
+    "Cyclic2D",
+    "RowCyclic",
+    "ColumnCyclic",
+    "CommVolume",
+    "compare_volumes",
+    "qr_communication_volume",
+    "LayoutCostEstimate",
+    "compare_layouts",
+    "estimate_qr_solve",
+]

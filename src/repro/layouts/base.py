@@ -1,0 +1,95 @@
+"""Distributed register-file data layouts (Section V-A).
+
+A thread block "is essentially a distributed system": each thread's
+register file is private memory, and the matrix must be partitioned
+across threads before any factorization can start.  The paper considers
+the three classic layouts (Figure 6):
+
+* 1D row cyclic    -- thread ``t`` owns rows ``t, t+p, t+2p, ...``
+* 1D column cyclic -- thread ``t`` owns columns ``t, t+p, ...``
+* 2D cyclic        -- thread ``(ti, tj)`` owns elements ``(ti + a*r,
+  tj + b*r)`` for the ``r x r`` thread grid
+
+:class:`Layout` fixes the interface: ownership queries, functional
+scatter/gather between the global matrix and per-thread storage (batched,
+because the engine runs many problems in lockstep), and the element
+counts that determine register pressure and load balance.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["Layout"]
+
+
+class Layout(abc.ABC):
+    """Partition of an ``m x n`` matrix over ``threads`` threads."""
+
+    def __init__(self, m: int, n: int, threads: int) -> None:
+        if m < 1 or n < 1:
+            raise ShapeError(f"matrix dimensions must be positive, got {m}x{n}")
+        if threads < 1:
+            raise ShapeError("need at least one thread")
+        self.m = m
+        self.n = n
+        self.threads = threads
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def owner(self, i: int, j: int) -> int:
+        """Flat thread id owning element ``(i, j)``."""
+
+    @abc.abstractmethod
+    def scatter(self, matrices: np.ndarray) -> np.ndarray:
+        """Distribute ``(batch, m, n)`` matrices into per-thread storage."""
+
+    @abc.abstractmethod
+    def gather(self, storage: np.ndarray) -> np.ndarray:
+        """Reassemble ``(batch, m, n)`` matrices from per-thread storage."""
+
+    @abc.abstractmethod
+    def elements_per_thread(self) -> int:
+        """Register-tile capacity each thread must provide (the maximum)."""
+
+    # ------------------------------------------------------------------
+    def _check_input(self, matrices: np.ndarray) -> np.ndarray:
+        arr = np.asarray(matrices)
+        if arr.ndim == 2:
+            arr = arr[None]
+        if arr.ndim != 3 or arr.shape[1] != self.m or arr.shape[2] != self.n:
+            raise ShapeError(
+                f"expected (batch, {self.m}, {self.n}) matrices, got {arr.shape}"
+            )
+        return arr
+
+    def ownership_map(self) -> np.ndarray:
+        """``(m, n)`` array of flat owner ids (Figure 6's numbers)."""
+        out = np.empty((self.m, self.n), dtype=np.int64)
+        for i in range(self.m):
+            for j in range(self.n):
+                out[i, j] = self.owner(i, j)
+        return out
+
+    def load_balance(self) -> float:
+        """min/max elements over threads: 1.0 means perfectly balanced."""
+        counts = np.bincount(
+            self.ownership_map().ravel(), minlength=self.threads
+        )
+        return counts.min() / counts.max() if counts.max() else 1.0
+
+    def column_owners(self, j: int) -> np.ndarray:
+        """Distinct threads holding parts of column ``j``."""
+        if not 0 <= j < self.n:
+            raise ShapeError(f"column {j} out of range")
+        return np.unique([self.owner(i, j) for i in range(self.m)])
+
+    def row_owners(self, i: int) -> np.ndarray:
+        """Distinct threads holding parts of row ``i``."""
+        if not 0 <= i < self.m:
+            raise ShapeError(f"row {i} out of range")
+        return np.unique([self.owner(i, j) for j in range(self.n)])

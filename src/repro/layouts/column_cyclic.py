@@ -1,0 +1,50 @@
+"""1D column-cyclic layout: thread ``t`` owns columns ``t, t+p, ...``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .base import Layout
+
+__all__ = ["ColumnCyclic"]
+
+
+class ColumnCyclic(Layout):
+    """1D column-cyclic distribution."""
+
+    def __init__(self, m: int, n: int, threads: int) -> None:
+        super().__init__(m, n, threads)
+        self.cols_per_thread = -(-n // threads)
+
+    def owner(self, i: int, j: int) -> int:
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise ShapeError(f"element ({i}, {j}) out of range")
+        return j % self.threads
+
+    def elements_per_thread(self) -> int:
+        return self.cols_per_thread * self.m
+
+    def scatter(self, matrices: np.ndarray) -> np.ndarray:
+        """(batch, m, n) -> (batch, threads, m, cols_per_thread), zero-padded."""
+        arr = self._check_input(matrices)
+        batch = arr.shape[0]
+        p = self.threads
+        padded = np.zeros((batch, self.m, self.cols_per_thread * p), dtype=arr.dtype)
+        padded[:, :, : self.n] = arr
+        tiles = padded.reshape(batch, self.m, self.cols_per_thread, p)
+        return np.ascontiguousarray(tiles.transpose(0, 3, 1, 2))
+
+    def gather(self, storage: np.ndarray) -> np.ndarray:
+        tiles = np.asarray(storage)
+        if tiles.ndim == 3:
+            tiles = tiles[None]
+        expected = (self.threads, self.m, self.cols_per_thread)
+        if tiles.ndim != 4 or tiles.shape[1:] != expected:
+            raise ShapeError(
+                f"expected (batch, {', '.join(map(str, expected))}) storage, "
+                f"got {tiles.shape}"
+            )
+        batch = tiles.shape[0]
+        padded = tiles.transpose(0, 2, 3, 1).reshape(batch, self.m, -1)
+        return np.ascontiguousarray(padded[:, :, : self.n])

@@ -1,0 +1,50 @@
+"""1D row-cyclic layout: thread ``t`` owns rows ``t, t+p, t+2p, ...``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .base import Layout
+
+__all__ = ["RowCyclic"]
+
+
+class RowCyclic(Layout):
+    """1D row-cyclic distribution."""
+
+    def __init__(self, m: int, n: int, threads: int) -> None:
+        super().__init__(m, n, threads)
+        self.rows_per_thread = -(-m // threads)
+
+    def owner(self, i: int, j: int) -> int:
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise ShapeError(f"element ({i}, {j}) out of range")
+        return i % self.threads
+
+    def elements_per_thread(self) -> int:
+        return self.rows_per_thread * self.n
+
+    def scatter(self, matrices: np.ndarray) -> np.ndarray:
+        """(batch, m, n) -> (batch, threads, rows_per_thread, n), zero-padded."""
+        arr = self._check_input(matrices)
+        batch = arr.shape[0]
+        p = self.threads
+        padded = np.zeros((batch, self.rows_per_thread * p, self.n), dtype=arr.dtype)
+        padded[:, : self.m] = arr
+        tiles = padded.reshape(batch, self.rows_per_thread, p, self.n)
+        return np.ascontiguousarray(tiles.transpose(0, 2, 1, 3))
+
+    def gather(self, storage: np.ndarray) -> np.ndarray:
+        tiles = np.asarray(storage)
+        if tiles.ndim == 3:
+            tiles = tiles[None]
+        expected = (self.threads, self.rows_per_thread, self.n)
+        if tiles.ndim != 4 or tiles.shape[1:] != expected:
+            raise ShapeError(
+                f"expected (batch, {', '.join(map(str, expected))}) storage, "
+                f"got {tiles.shape}"
+            )
+        batch = tiles.shape[0]
+        padded = tiles.transpose(0, 2, 1, 3).reshape(batch, -1, self.n)
+        return np.ascontiguousarray(padded[:, : self.m])

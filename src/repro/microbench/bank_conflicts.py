@@ -1,0 +1,56 @@
+"""Bank-conflict microbenchmark (supporting the shared-memory model).
+
+Not one of the paper's figures, but the mechanism behind its layout
+choices: GF100 shared memory has 32 banks, and a warp access is replayed
+once per extra word mapped to the same bank.  This benchmark measures the
+effective shared bandwidth at word strides 1..32, producing the classic
+sawtooth (powers of two are the worst; odd strides are conflict-free) --
+the reason the 2D-cyclic kernels pad/stride their shared vectors the way
+they do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..gpu.device import DeviceSpec
+from ..gpu.shared_memory import SharedMemory
+
+__all__ = ["BankConflictSweep", "sweep_bank_conflicts"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BankConflictSweep:
+    device: DeviceSpec
+    strides: tuple[int, ...]
+    degrees: tuple[int, ...]
+    #: Effective per-SM bandwidth at each stride, bytes/second.
+    bandwidths: tuple[float, ...]
+
+    def series(self) -> list[tuple[int, int, float]]:
+        return list(zip(self.strides, self.degrees, self.bandwidths))
+
+    def worst_stride(self) -> int:
+        return self.strides[self.degrees.index(max(self.degrees))]
+
+
+def sweep_bank_conflicts(
+    device: DeviceSpec, strides: range | tuple = range(1, 33)
+) -> BankConflictSweep:
+    """Measure conflict degree and effective bandwidth per word stride."""
+    mem = SharedMemory(device, words=device.shared_banks * 64)
+    degrees, bandwidths = [], []
+    lanes = device.warp_size
+    for stride in strides:
+        addrs = [(lane * stride) % mem.words for lane in range(lanes)]
+        degree = mem.conflict_degree(addrs)
+        # One warp access moves warp_size words in `degree` bank passes.
+        bytes_per_pass = lanes * 4 / degree
+        bandwidths.append(bytes_per_pass * device.shared_clock_hz)
+        degrees.append(degree)
+    return BankConflictSweep(
+        device=device,
+        strides=tuple(strides),
+        degrees=tuple(degrees),
+        bandwidths=tuple(bandwidths),
+    )

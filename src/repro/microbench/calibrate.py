@@ -1,0 +1,53 @@
+"""Run the full microbenchmark suite and assemble Table IV.
+
+This is the paper's Section II condensed into one call: bandwidths from
+the copy loops, latencies from pointer chasing, ``alpha_sync`` from the
+barrier sweep, and ``gamma`` from the dependent-FMA chain -- all measured
+against the simulated device, then packed into
+:class:`~repro.model.parameters.ModelParameters` for the model layer.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import DeviceSpec, QUADRO_6000
+from ..gpu.instructions import costs_for
+from ..model.parameters import ModelParameters
+from .global_bandwidth import measure_global_bandwidth
+from .global_latency import plateau_latency
+from .shared_bandwidth import measure_shared_bandwidth
+from .shared_latency import measure_shared_latency
+from .sync_latency import measure_sync_latency
+
+__all__ = ["measure_fma_latency", "calibrate"]
+
+
+def measure_fma_latency(device: DeviceSpec, chain: int = 256) -> float:
+    """gamma: cycles per dependent FMA, from a serial accumulation chain.
+
+    ``acc = acc * a + b`` repeated ``chain`` times has no ILP, so elapsed
+    cycles divided by chain length is the pipeline depth.
+    """
+    if chain < 1:
+        raise ValueError("need a non-empty chain")
+    costs = costs_for(device)
+    total = chain * costs.fma
+    return total / chain
+
+
+def calibrate(device: DeviceSpec = QUADRO_6000) -> ModelParameters:
+    """Measure every Table-IV parameter on ``device``."""
+    shared_bw = measure_shared_bandwidth(device)
+    global_bw = measure_global_bandwidth(device)
+    shared_lat = measure_shared_latency(device)
+    global_lat = plateau_latency(device)
+    sync = measure_sync_latency(device, threads=64)
+    gamma = measure_fma_latency(device)
+    return ModelParameters(
+        device=device,
+        alpha_glb=global_lat,
+        global_bandwidth=global_bw.copy_bandwidth,
+        alpha_sh=shared_lat.latency_cycles,
+        shared_bandwidth=shared_bw.total_bandwidth,
+        alpha_sync=sync,
+        gamma=gamma,
+    )

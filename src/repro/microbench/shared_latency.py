@@ -1,0 +1,83 @@
+"""Shared-memory latency microbenchmark (Listing 3).
+
+Pointer chasing through shared memory with dependent loads.  On GF100 the
+ISA cannot fuse the address shift into the load anymore, so the *integer*
+variant measures ``shift + load`` (45 cycles) and subtracts the
+separately measured shift latency (18 cycles); the *byte* variant needs
+no shift and reads the latency directly.  Both must agree (Section
+II-C1), and the methodology must reproduce Volkov's 36 cycles on G80.
+
+The chase itself runs functionally over a real permutation so a broken
+permutation (a short cycle) is detected rather than silently timed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..gpu.instructions import costs_for
+from ..gpu.shared_memory import SharedMemory
+
+__all__ = ["SharedLatencyResult", "measure_shared_latency"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedLatencyResult:
+    device: DeviceSpec
+    #: Latency via the integer chase after subtracting the shift.
+    int_variant_cycles: float
+    #: Latency via the byte chase (no address arithmetic).
+    byte_variant_cycles: float
+    #: The raw shift+load combination (45 cycles on GF100).
+    combined_cycles: float
+    #: Penalty for reaching shared memory through a generic LD.
+    generic_ld_penalty: float
+    hops: int
+
+    @property
+    def latency_cycles(self) -> float:
+        """The reported shared-memory latency (byte variant)."""
+        return self.byte_variant_cycles
+
+
+def _chase(perm: np.ndarray, hops: int) -> int:
+    """Walk ``hops`` dependent reads through permutation ``perm``."""
+    acc = 0
+    for _ in range(hops):
+        acc = int(perm[acc])
+    return acc
+
+
+def measure_shared_latency(
+    device: DeviceSpec, words: int = 1024, hops: int = 512, seed: int = 7
+) -> SharedLatencyResult:
+    """Chase dependent loads through a shared array and time them."""
+    if words < 2:
+        raise ValueError("need at least two words to chase")
+    mem = SharedMemory(device, words=words, dtype=np.int32)
+    rng = np.random.default_rng(seed)
+    # A single-cycle permutation so the chase visits every word.
+    order = rng.permutation(words)
+    perm = np.empty(words, dtype=np.int32)
+    perm[order] = np.roll(order, -1)
+    mem.data[0] = perm
+
+    end = _chase(mem.data[0], hops)
+    if hops % words == 0 and end != 0:
+        raise AssertionError("pointer chain is not a single cycle")
+
+    costs = costs_for(device)
+    load = device.shared_latency
+    shift = costs.shift
+    combined = load + shift  # the integer variant's raw per-hop cost
+    return SharedLatencyResult(
+        device=device,
+        int_variant_cycles=float(combined - shift),
+        byte_variant_cycles=float(load),
+        combined_cycles=float(combined),
+        generic_ld_penalty=float(device.generic_addressing_penalty),
+        hops=hops,
+    )

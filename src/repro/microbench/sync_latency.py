@@ -1,0 +1,60 @@
+"""Synchronization-latency microbenchmark (Figure 2 / alpha_sync).
+
+Times back-to-back ``__syncthreads()`` calls for block sizes from one
+warp up to the SM's thread capacity, by running an empty sync loop on the
+block engine.  The 64-thread point is the model's ``alpha_sync``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..gpu.device import DeviceSpec
+from ..gpu.simt import BlockEngine
+
+__all__ = ["SyncLatencySweep", "measure_sync_latency", "sweep_sync_latency"]
+
+DEFAULT_THREAD_COUNTS = tuple(range(32, 1024 + 1, 32))
+
+
+@dataclasses.dataclass(frozen=True)
+class SyncLatencySweep:
+    device: DeviceSpec
+    thread_counts: tuple[int, ...]
+    latencies: tuple[float, ...]
+
+    def series(self) -> list[tuple[int, float]]:
+        """(threads per multiprocessor, cycles) pairs -- Figure 2's axes."""
+        return list(zip(self.thread_counts, self.latencies))
+
+    def at(self, threads: int) -> float:
+        try:
+            return self.latencies[self.thread_counts.index(threads)]
+        except ValueError:
+            raise KeyError(f"thread count {threads} not in sweep") from None
+
+
+def measure_sync_latency(
+    device: DeviceSpec, threads: int, repetitions: int = 64
+) -> float:
+    """Average cycles of one ``__syncthreads`` at ``threads`` threads."""
+    engine = BlockEngine(
+        device,
+        threads_per_block=threads,
+        registers_per_thread=8,
+        account_overhead=False,
+    )
+    for _ in range(repetitions):
+        engine.sync()
+    return engine.clock.now / repetitions
+
+
+def sweep_sync_latency(
+    device: DeviceSpec, thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS
+) -> SyncLatencySweep:
+    """Reproduce Figure 2: sync latency versus threads per SM."""
+    lats = tuple(measure_sync_latency(device, t) for t in thread_counts)
+    return SyncLatencySweep(
+        device=device, thread_counts=tuple(thread_counts), latencies=lats
+    )

@@ -1,0 +1,128 @@
+"""Hybrid CPU+GPU blocked baseline (the MAGMA/CULA approach, Section VI-A).
+
+MAGMA factors panels of fixed width (96 columns in the release the paper
+used) on the CPU and updates the trailing matrix on the GPU with
+matrix-matrix multiply, overlapping the two.  Consequences the model
+reproduces:
+
+* problems narrower than the panel width run *entirely on the CPU* --
+  small problems see CPU speed plus, for the GPU-resident variant, PCIe
+  transfers each way (Figure 11's "MAGMA GPU Start" sits below "CPU
+  Start");
+* the library exposes no batching, so the paper loops over problems
+  sequentially -- per-problem launch/synchronization overhead is paid
+  every time;
+* for large single problems the trailing GEMM dominates and performance
+  climbs toward the GPU's matrix-multiply rate (Figure 10's crossover).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+from .cpu_model import CpuModel
+from .flops import lu_flops, matrix_bytes, qr_flops
+from .parameters import ModelParameters
+
+__all__ = ["HybridConfig", "HybridModel"]
+
+Kind = Literal["qr", "lu"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HybridConfig:
+    """Constants of the hybrid library being modelled."""
+
+    #: Panel width: everything narrower runs on the CPU (MAGMA: 96).
+    panel_width: int = 96
+    #: Sustained PCIe bandwidth for host<->device copies, bytes/s.
+    pcie_bandwidth: float = 5.2e9
+    #: Fixed per-call overhead (launches, sync, dispatcher), seconds.
+    call_overhead: float = 25e-6
+    #: Asymptotic GPU SGEMM rate for the trailing updates, FLOP/s.
+    gemm_peak: float = 550e9
+    #: Trailing-matrix width at which GEMM reaches half its peak.
+    gemm_n_half: float = 2000.0
+    #: Aggregate CPU rate for panel factorization (large panels), FLOP/s.
+    panel_cpu_rate: float = 35e9
+
+
+class HybridModel:
+    """Per-problem timing of the hybrid blocked approach."""
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        config: HybridConfig | None = None,
+        cpu: CpuModel | None = None,
+    ):
+        self.params = params
+        self.config = config or HybridConfig()
+        self.cpu = cpu or CpuModel()
+
+    # ------------------------------------------------------------------
+    def _flops(self, kind: Kind, m: int, n: int) -> float:
+        if kind == "qr":
+            return qr_flops(m, n)
+        if kind == "lu":
+            return lu_flops(n)
+        raise ValueError(f"unknown factorization kind: {kind!r}")
+
+    def gemm_rate(self, n: int) -> float:
+        """Effective trailing-update rate for an n-wide problem."""
+        cfg = self.config
+        return cfg.gemm_peak * n / (n + cfg.gemm_n_half)
+
+    def seconds_per_problem(
+        self, kind: Kind, m: int, n: int | None = None, gpu_start: bool = True
+    ) -> float:
+        """One factorization through the hybrid path.
+
+        ``gpu_start`` mirrors the paper's two MAGMA variants: data
+        starting (and ending) on the GPU pays PCIe both ways for the
+        CPU-side work; CPU-start skips the transfers the CPU path would
+        need (and is faster for small problems, as the paper observes).
+        """
+        n = m if n is None else n
+        if m < 1 or n < 1:
+            raise ValueError("matrix dimensions must be positive")
+        cfg = self.config
+        transfer = 2 * matrix_bytes(m, n) / cfg.pcie_bandwidth
+
+        if n < cfg.panel_width:
+            # Entire problem on the CPU (single problem: one core's rate
+            # only -- the sequential MAGMA loop is not batched).
+            cpu_seconds = self.cpu.seconds(kind, m, n, batch=1)
+            total = cfg.call_overhead + cpu_seconds
+            if gpu_start:
+                total += transfer
+            return total
+
+        # Blocked path: panels on CPU, trailing updates on GPU, with the
+        # classic lookahead overlapping one against the other.
+        total_flops = self._flops(kind, m, n)
+        panels = -(-n // cfg.panel_width)
+        panel_flops = min(total_flops, 2.0 * m * n * cfg.panel_width)
+        gemm_flops = max(0.0, total_flops - panel_flops)
+        cpu_time = panel_flops / cfg.panel_cpu_rate
+        gpu_time = gemm_flops / self.gemm_rate(n)
+        overlapped = max(cpu_time, gpu_time) + panels * cfg.call_overhead
+        if not gpu_start:
+            overlapped += transfer  # panels must reach the GPU and back
+        return overlapped
+
+    def gflops(
+        self,
+        kind: Kind,
+        m: int,
+        n: int | None = None,
+        batch: int = 1,
+        gpu_start: bool = True,
+    ) -> float:
+        """Aggregate rate over a sequential loop of ``batch`` problems."""
+        n = m if n is None else n
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        seconds = batch * self.seconds_per_problem(kind, m, n, gpu_start)
+        return batch * self._flops(kind, m, n) / seconds / 1e9

@@ -1,0 +1,44 @@
+"""Arithmetic intensity and the bandwidth roofline (Section IV's model).
+
+The one-problem-per-thread prediction is pure roofline (Williams et al.,
+cited by the paper): FLOPs are free, DRAM latency is hidden by
+multithreading, so expected performance is::
+
+    GFLOPS = arithmetic_intensity [flops/byte] * achieved_bandwidth [GB/s]
+
+capped at the device's peak arithmetic throughput.  The worked example in
+the paper: a 7x7 SP QR does 457 FLOPs over 392 bytes of traffic (read +
+write), intensity 1.17 flops/byte, and 1.17 x 108 GB/s ~ 126 GFLOPS.
+"""
+
+from __future__ import annotations
+
+from .flops import matrix_bytes
+from .parameters import ModelParameters
+
+__all__ = ["arithmetic_intensity", "roofline_gflops", "factorization_intensity"]
+
+
+def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
+    """FLOPs per byte of DRAM traffic."""
+    if bytes_moved <= 0:
+        raise ValueError("traffic must be positive")
+    if flops < 0:
+        raise ValueError("flops must be non-negative")
+    return flops / bytes_moved
+
+
+def factorization_intensity(
+    flops: float, m: int, n: int, complex_dtype: bool = False
+) -> float:
+    """Intensity of an in-place factorization: the matrix is read+written."""
+    traffic = 2 * matrix_bytes(m, n, complex_dtype)
+    return arithmetic_intensity(flops, traffic)
+
+
+def roofline_gflops(params: ModelParameters, intensity: float) -> float:
+    """Bandwidth-roofline performance in GFLOP/s, capped at compute peak."""
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    bandwidth_bound = intensity * params.global_bandwidth
+    return min(bandwidth_bound, params.device.peak_sp_flops) / 1e9

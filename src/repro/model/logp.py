@@ -1,0 +1,83 @@
+"""The paper's LogP-derived timing equations (Section II, Eqs. 1 and 2).
+
+Global (Eq. 1)::
+
+    tau_gbl = #msg * alpha_glb + msize * beta_glb + flops * gamma
+
+Shared (Eq. 2)::
+
+    tau_lcl = #msg * alpha_sh + nsync * alpha_sync
+              + msize * beta_sh + flops * gamma
+
+Latencies and gamma are in cycles; message size is in bytes and is
+converted through the measured inverse bandwidths (seconds/byte) to
+cycles at the device clock.  The paper evaluates the two equations
+*separately* -- global and local phases of these kernels do not overlap
+(Section VIII) -- and so do we: :func:`total_time` is their plain sum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .parameters import ModelParameters
+
+__all__ = ["GlobalPhase", "LocalPhase", "global_time", "local_time", "total_time"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalPhase:
+    """Inputs to Equation 1."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.messages < 0 or self.bytes < 0 or self.flops < 0:
+            raise ValueError("phase quantities must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalPhase:
+    """Inputs to Equation 2."""
+
+    messages: int = 0
+    syncs: int = 0
+    bytes: float = 0.0
+    flops: float = 0.0
+    #: Block size used for the alpha_sync lookup (the paper tabulates 64).
+    threads: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.messages, self.syncs) < 0 or self.bytes < 0 or self.flops < 0:
+            raise ValueError("phase quantities must be non-negative")
+
+
+def global_time(params: ModelParameters, phase: GlobalPhase) -> float:
+    """Equation 1, in cycles."""
+    bandwidth_cycles = params.device.seconds_to_cycles(phase.bytes * params.beta_glb)
+    return phase.messages * params.alpha_glb + bandwidth_cycles + phase.flops * params.gamma
+
+
+def local_time(params: ModelParameters, phase: LocalPhase) -> float:
+    """Equation 2, in cycles."""
+    bandwidth_cycles = params.device.seconds_to_cycles(phase.bytes * params.beta_sh)
+    return (
+        phase.messages * params.alpha_sh
+        + phase.syncs * params.sync_latency(phase.threads)
+        + bandwidth_cycles
+        + phase.flops * params.gamma
+    )
+
+
+def total_time(
+    params: ModelParameters, glb: GlobalPhase, lcl: LocalPhase
+) -> float:
+    """Non-overlapped sum of the two phases, in cycles.
+
+    The factorizations considered here spend far longer computing than
+    loading/storing, so the paper treats the two models separately and
+    adds them; overlap would only matter for bandwidth-bound kernels.
+    """
+    return global_time(params, glb) + local_time(params, lcl)

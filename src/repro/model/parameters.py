@@ -1,0 +1,100 @@
+"""Model parameters (the paper's Table IV).
+
+The LogP-style model of Equations 1 and 2 needs six numbers:
+
+======================  =====================================  ============
+symbol                  meaning                                Quadro 6000
+======================  =====================================  ============
+``alpha_glb``           global (DRAM) latency                  570 cycles
+``beta_glb``            inverse global bandwidth               1/108 s/GB
+``alpha_sh``            shared-memory latency                  27 cycles
+``beta_sh``             inverse shared bandwidth (aggregate)   1/880 s/GB
+``alpha_sync``          sync of 64 threads in a SIMT unit      46 cycles
+``gamma``               FP pipeline latency                    18 cycles
+======================  =====================================  ============
+
+Parameters are *measured*, not assumed: :func:`repro.microbench.calibrate`
+recovers them by running the Section-II microbenchmarks against the
+simulated device, exactly as the paper recovers them from silicon.
+:func:`ModelParameters.paper_table_iv` provides the published values for
+comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..gpu.device import QUADRO_6000, DeviceSpec
+from ..gpu.instructions import InstructionCosts, costs_for
+
+__all__ = ["ModelParameters"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelParameters:
+    """Measured parameters of the GPU performance model (Table IV)."""
+
+    device: DeviceSpec
+    #: Global memory latency, cycles.
+    alpha_glb: float
+    #: Achieved global bandwidth, bytes/second (beta_glb = 1/this).
+    global_bandwidth: float
+    #: Shared memory latency, cycles (per dependent access).
+    alpha_sh: float
+    #: Achieved aggregate shared bandwidth, bytes/second.
+    shared_bandwidth: float
+    #: Synchronization latency for a 64-thread block, cycles.
+    alpha_sync: float
+    #: FP pipeline latency, cycles per dependent FLOP (FMA = 1).
+    gamma: float
+
+    @property
+    def beta_glb(self) -> float:
+        """Inverse global bandwidth, seconds/byte."""
+        return 1.0 / self.global_bandwidth
+
+    @property
+    def beta_sh(self) -> float:
+        """Inverse aggregate shared bandwidth, seconds/byte."""
+        return 1.0 / self.shared_bandwidth
+
+    @property
+    def instruction_costs(self) -> InstructionCosts:
+        return costs_for(self.device)
+
+    def sync_latency(self, threads: int) -> float:
+        """alpha_sync generalized to other block sizes (Figure 2 curve)."""
+        return self.device.sync_latency(threads)
+
+    @classmethod
+    def paper_table_iv(cls) -> "ModelParameters":
+        """The exact values published in Table IV of the paper."""
+        return cls(
+            device=QUADRO_6000,
+            alpha_glb=570.0,
+            global_bandwidth=108e9,
+            alpha_sh=27.0,
+            shared_bandwidth=880e9,
+            alpha_sync=46.0,
+            gamma=18.0,
+        )
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Human-readable rows in the order Table IV prints them."""
+        return [
+            ("Global memory latency (alpha_gbl)", f"{self.alpha_glb:.0f} cycles"),
+            (
+                "Global memory inverse bandwidth (beta_gbl)",
+                f"1/{self.global_bandwidth / 1e9:.0f} s/GB",
+            ),
+            ("Shared memory latency (alpha_sh)", f"{self.alpha_sh:.0f} cycles"),
+            (
+                "Shared memory inverse bandwidth (beta_sh)",
+                f"1/{self.shared_bandwidth / 1e9:.0f} s/GB",
+            ),
+            (
+                "Synchronization of 64 threads in a SIMT (alpha_sync)",
+                f"{self.alpha_sync:.0f} cycles",
+            ),
+            ("Pipeline latency for FP operations (gamma)", f"{self.gamma:.0f} cycles"),
+        ]

@@ -1,0 +1,316 @@
+"""Analytic model of the one-problem-per-block approach (Table VI).
+
+The paper estimates LU and QR cost by counting, per column operation and
+per trailing-matrix update, the FLOPs (``gamma`` each, FMA = 1), shared
+memory accesses (``beta`` each, where ``beta`` is the per-access shared
+latency), and synchronizations (``alpha_sync`` each).  Reductions are
+serial across the sqrt(p) threads of a column: ``(1 + sqrt(p)) beta +
+sqrt(p) gamma``.  This module reproduces those counts *verbatim* from
+Table VI, generalized to
+
+* non-square matrices (N follows the shrinking row panels),
+* complex arithmetic (one complex FMA = 4 dependent real instructions,
+  8 flops of credit -- the Section VII STAP runs), and
+* precise-vs-fast division/square root (the 30% penalty quoted in
+  Section V-C).
+
+Whole-chip GFLOPS adds the DRAM read+write of the matrix at the achieved
+global bandwidth, fair-shared across the resident blocks given by the
+occupancy calculator -- exactly the recipe of Section V-D.  Register
+spilling is deliberately NOT modelled: Figure 9's "false predictions at
+64 and above 112" are the reproduction target, and the divergence from
+the engine-measured curves is the evidence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+from ..gpu.instructions import costs_for
+from ..gpu.occupancy import Occupancy, occupancy
+from .block_config import BlockConfig, block_config
+from .flops import (
+    gauss_jordan_flops,
+    least_squares_flops,
+    lu_flops,
+    matrix_bytes,
+    qr_flops,
+    qr_flops_complex,
+)
+from .parameters import ModelParameters
+
+__all__ = [
+    "OpEstimate",
+    "ColumnEstimate",
+    "PerBlockPrediction",
+    "estimate_lu_column",
+    "estimate_qr_column",
+    "predict_per_block",
+    "panel_breakdown",
+]
+
+Kind = Literal["qr", "lu", "gauss_jordan", "least_squares"]
+
+#: Display names for the per-operation breakdown, as in Figure 8.
+QR_OPS = ("Form HH Vector", "Matrix-Vector Multiply", "Rank-1 Update")
+LU_OPS = ("Column Op", "Rank-1 Update")
+
+
+@dataclasses.dataclass(frozen=True)
+class OpEstimate:
+    """Cycles of one named operation within a column step."""
+
+    name: str
+    flops_cycles: float
+    shared_cycles: float
+    sync_cycles: float
+
+    @property
+    def total(self) -> float:
+        return self.flops_cycles + self.shared_cycles + self.sync_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnEstimate:
+    """All operations of one column step (column op + trailing update)."""
+
+    column: int
+    n_tile: int
+    ops: tuple[OpEstimate, ...]
+
+    @property
+    def total(self) -> float:
+        return sum(op.total for op in self.ops)
+
+
+def _reduction_cycles(params: ModelParameters, rdim: int, op_factor: int) -> tuple[float, float]:
+    """(shared, flops) cycles of one serial cross-thread reduction.
+
+    Table VI: ``(1 + sqrt(p)) beta + sqrt(p) gamma``.
+    """
+    shared = (1 + rdim) * params.alpha_sh
+    flops = rdim * params.gamma * op_factor
+    return shared, flops
+
+
+def estimate_lu_column(
+    params: ModelParameters,
+    config: BlockConfig,
+    column: int,
+    fast_math: bool = True,
+) -> ColumnEstimate:
+    """Table VI, LU rows, for one column step."""
+    costs = costs_for(params.device)
+    rdim = config.rdim
+    n_tile = config.column_tile_rows(column)
+    op_factor = 2 if config.complex_dtype else 1
+    beta = params.alpha_sh
+    gamma = params.gamma * op_factor
+    sync = params.sync_latency(config.threads)
+
+    col = OpEstimate(
+        name=LU_OPS[0],
+        # gamma_div (thread 0 scale factor) + N gamma (scale l vector)
+        flops_cycles=costs.div(fast_math) * op_factor + n_tile * gamma,
+        # 2 beta (write+read scale) + 2N beta (write l & u to shared)
+        shared_cycles=2 * beta + 2 * n_tile * beta,
+        # alpha_sync after the scale factor, alpha_sync after l & u
+        sync_cycles=2 * sync,
+    )
+    trailing = OpEstimate(
+        name=LU_OPS[1],
+        flops_cycles=n_tile * n_tile * gamma,  # N^2 gamma rank-1 update
+        shared_cycles=2 * n_tile * beta,  # read l & u from shared
+        sync_cycles=sync,
+    )
+    return ColumnEstimate(column=column, n_tile=n_tile, ops=(col, trailing))
+
+
+def estimate_qr_column(
+    params: ModelParameters,
+    config: BlockConfig,
+    column: int,
+    fast_math: bool = True,
+) -> ColumnEstimate:
+    """Table VI, QR rows, for one column step."""
+    costs = costs_for(params.device)
+    rdim = config.rdim
+    n_tile = config.column_tile_rows(column)
+    op_factor = 2 if config.complex_dtype else 1
+    beta = params.alpha_sh
+    gamma = params.gamma * op_factor
+    sync = params.sync_latency(config.threads)
+    red_shared, red_flops = _reduction_cycles(params, rdim, op_factor)
+
+    form_hh = OpEstimate(
+        name=QR_OPS[0],
+        flops_cycles=(
+            n_tile * gamma  # column norm partial sums
+            + red_flops  # thread-0 norm reduction
+            + costs.sqrt(fast_math) * op_factor
+            + 2 * costs.div(fast_math) * op_factor
+            + 2 * gamma  # scale-factor arithmetic
+            + n_tile * gamma  # column scale
+        ),
+        shared_cycles=(
+            red_shared  # norm reduction traffic
+            + 2 * beta  # write and read scale factor
+            + n_tile * beta  # write scaled column to shared
+        ),
+        sync_cycles=sync,
+    )
+    mv = OpEstimate(
+        name=QR_OPS[1],
+        flops_cycles=n_tile * n_tile * gamma + red_flops,
+        shared_cycles=n_tile * beta + red_shared,  # read HH vector + reduction
+        sync_cycles=2 * sync,
+    )
+    rank1 = OpEstimate(
+        name=QR_OPS[2],
+        flops_cycles=n_tile * n_tile * gamma,
+        shared_cycles=n_tile * beta,  # read the w vector
+        sync_cycles=sync,
+    )
+    return ColumnEstimate(column=column, n_tile=n_tile, ops=(form_hh, mv, rank1))
+
+
+def _gj_column(
+    params: ModelParameters, config: BlockConfig, column: int, fast_math: bool
+) -> ColumnEstimate:
+    """Gauss-Jordan: like LU's column, but the rank-1 update spans all
+    HREG rows (the eliminated rows keep updating) and all trailing
+    columns including the appended right-hand side."""
+    costs = costs_for(params.device)
+    n_tile = config.hreg  # rows never drop out in Gauss-Jordan
+    op_factor = 2 if config.complex_dtype else 1
+    beta = params.alpha_sh
+    gamma = params.gamma * op_factor
+    sync = params.sync_latency(config.threads)
+    col = OpEstimate(
+        name=LU_OPS[0],
+        flops_cycles=costs.div(fast_math) * op_factor + n_tile * gamma,
+        shared_cycles=2 * beta + 2 * n_tile * beta,
+        sync_cycles=2 * sync,
+    )
+    trailing = OpEstimate(
+        name=LU_OPS[1],
+        flops_cycles=n_tile * n_tile * gamma,
+        shared_cycles=2 * n_tile * beta,
+        sync_cycles=sync,
+    )
+    return ColumnEstimate(column=column, n_tile=n_tile, ops=(col, trailing))
+
+
+@dataclasses.dataclass(frozen=True)
+class PerBlockPrediction:
+    """Model output for one problem shape."""
+
+    kind: str
+    config: BlockConfig
+    columns: tuple[ColumnEstimate, ...]
+    compute_cycles: float
+    dram_cycles: float
+    flops_per_problem: float
+    occupancy: Occupancy
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.dram_cycles
+
+    @property
+    def gflops(self) -> float:
+        """Whole-chip throughput, Section V-D's recipe."""
+        blocks = self.occupancy.blocks_per_chip
+        seconds = self.occupancy.device.cycles_to_seconds(self.total_cycles)
+        return self.flops_per_problem * blocks / seconds / 1e9
+
+
+def _flops_for(kind: str, m: int, n: int, complex_dtype: bool) -> float:
+    if kind == "qr":
+        return qr_flops_complex(m, n) if complex_dtype else qr_flops(m, n)
+    if kind == "lu":
+        factor = 4 if complex_dtype else 1
+        return factor * lu_flops(n)
+    if kind == "gauss_jordan":
+        factor = 4 if complex_dtype else 1
+        return factor * gauss_jordan_flops(n)
+    if kind == "least_squares":
+        factor = 4 if complex_dtype else 1
+        return factor * least_squares_flops(m, n)
+    raise ValueError(f"unknown factorization kind: {kind!r}")
+
+
+def predict_per_block(
+    params: ModelParameters,
+    kind: Kind,
+    m: int,
+    n: int | None = None,
+    *,
+    complex_dtype: bool = False,
+    fast_math: bool = True,
+    config: BlockConfig | None = None,
+) -> PerBlockPrediction:
+    """Full Table-VI prediction for an m x n problem.
+
+    ``n`` defaults to ``m`` (square).  ``config`` overrides the paper's
+    launch-shape rule (used by the Figure-7 layout comparison).
+    """
+    n = m if n is None else n
+    cfg = config or block_config(m, n, complex_dtype=complex_dtype)
+
+    if kind == "qr":
+        column_fn = estimate_qr_column
+    elif kind in ("lu",):
+        column_fn = estimate_lu_column
+    elif kind == "gauss_jordan":
+        column_fn = _gj_column
+    elif kind == "least_squares":
+        # Least squares = QR on [A|b] plus a triangular solve whose cost
+        # the paper folds into the same column machinery.
+        column_fn = estimate_qr_column
+    else:
+        raise ValueError(f"unknown factorization kind: {kind!r}")
+
+    columns = tuple(
+        column_fn(params, cfg, j, fast_math) for j in range(n - 1)
+    )
+    compute = sum(c.total for c in columns)
+
+    # Occupancy: the model caps registers at the architectural limit and
+    # ignores spilling entirely (Section V-D / Figure 9 caption).
+    regs = min(cfg.registers_per_thread, params.device.max_registers_per_thread)
+    shared_bytes = 4 * (cfg.m + cfg.n) * (2 if complex_dtype else 1) + 64
+    occ = occupancy(params.device, cfg.threads, regs, shared_bytes)
+
+    # DRAM: read + write the matrix, fair-shared across resident blocks.
+    nbytes = 2 * matrix_bytes(m, n, complex_dtype)
+    dram_seconds = nbytes * occ.blocks_per_chip / params.global_bandwidth
+    dram_cycles = params.device.seconds_to_cycles(dram_seconds)
+
+    return PerBlockPrediction(
+        kind=kind,
+        config=cfg,
+        columns=columns,
+        compute_cycles=compute,
+        dram_cycles=dram_cycles,
+        flops_per_problem=_flops_for(kind, m, n, complex_dtype),
+        occupancy=occ,
+    )
+
+
+def panel_breakdown(prediction: PerBlockPrediction) -> list[dict[str, float]]:
+    """Per-panel cycles per operation -- the right half of Figure 8.
+
+    Returns one dict per panel mapping operation name to cycles.
+    """
+    cfg = prediction.config
+    panels: list[dict[str, float]] = []
+    for p in range(cfg.panels):
+        agg: dict[str, float] = {}
+        for col in prediction.columns[p * cfg.rdim : (p + 1) * cfg.rdim]:
+            for op in col.ops:
+                agg[op.name] = agg.get(op.name, 0.0) + op.total
+        if agg:
+            panels.append(agg)
+    return panels

@@ -1,0 +1,59 @@
+"""Predictive model for the one-problem-per-thread approach (Section IV).
+
+The paper's model here is deliberately minimal (Figure 3): FLOPs are free
+(gamma = 0), DRAM latency is hidden by multithreading (alpha_glb = 0),
+and the register file is infinite -- performance is the bandwidth
+roofline at the problem's arithmetic intensity.  The model *does not*
+capture register spilling; the measured curves (from the device kernels)
+fall off past n = 8 where the matrix no longer fits in 64 registers, and
+the divergence is exactly Figure 4's story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+from .flops import lu_flops, matrix_bytes, qr_flops
+from .intensity import arithmetic_intensity, roofline_gflops
+from .parameters import ModelParameters
+
+__all__ = ["PerThreadPrediction", "predict_per_thread"]
+
+Kind = Literal["qr", "lu"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PerThreadPrediction:
+    kind: str
+    n: int
+    flops_per_problem: float
+    bytes_per_problem: float
+    intensity: float
+    gflops: float
+
+
+def predict_per_thread(
+    params: ModelParameters, kind: Kind, n: int
+) -> PerThreadPrediction:
+    """Roofline prediction for one n x n factorization per thread.
+
+    Matches the worked example of Section IV: a 7x7 QR has intensity
+    457/392 = 1.17 flops/byte, predicting ~126 GFLOPS at 108 GB/s.
+    """
+    if kind == "qr":
+        flops = qr_flops(n, n)
+    elif kind == "lu":
+        flops = lu_flops(n)
+    else:
+        raise ValueError(f"unknown factorization kind: {kind!r}")
+    traffic = 2 * matrix_bytes(n, n)  # read once, write once
+    intensity = arithmetic_intensity(flops, traffic)
+    return PerThreadPrediction(
+        kind=kind,
+        n=n,
+        flops_per_problem=flops,
+        bytes_per_problem=traffic,
+        intensity=intensity,
+        gflops=roofline_gflops(params, intensity),
+    )

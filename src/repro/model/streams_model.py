@@ -1,0 +1,82 @@
+"""The CUBLAS + CUDA-streams approach (Section VI-C).
+
+Composing a factorization from global-memory BLAS-1/BLAS-2 calls (column
+norms, scals, gemv, ger) keeps all operands in DRAM and pays a kernel
+launch per call; streams could in principle overlap problems, but the
+paper found the hardware "not fine-grained enough" and measured *no
+benefit* from multiple streams -- the CPU was faster.  The model charges
+
+* one launch overhead per BLAS call (4 calls per column for QR, 2 for
+  LU),
+* global-memory traffic for every operand touched (no reuse above DRAM
+  except the trailing GEMM's modest blocking), and
+* an effective stream concurrency that caps how many problems overlap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+from .flops import lu_flops, qr_flops
+from .parameters import ModelParameters
+
+__all__ = ["StreamsConfig", "StreamsModel"]
+
+Kind = Literal["qr", "lu"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamsConfig:
+    #: Kernel launch + dispatch overhead per BLAS call, seconds.
+    launch_overhead: float = 5e-6
+    #: BLAS calls per factored column (norm, scal, gemv, ger for QR).
+    calls_per_column_qr: int = 4
+    calls_per_column_lu: int = 2
+    #: Effective number of problems the streams actually overlap
+    #: (Section VI-C: fine-grained concurrency did not materialize).
+    effective_concurrency: float = 1.0
+
+
+class StreamsModel:
+    """Timing for the CUBLAS-per-column composition."""
+
+    def __init__(self, params: ModelParameters, config: StreamsConfig | None = None):
+        self.params = params
+        self.config = config or StreamsConfig()
+
+    def seconds_per_problem(self, kind: Kind, m: int, n: int | None = None) -> float:
+        n = m if n is None else n
+        if m < 1 or n < 1:
+            raise ValueError("matrix dimensions must be positive")
+        cfg = self.config
+        if kind == "qr":
+            calls = cfg.calls_per_column_qr * n
+            flops = qr_flops(m, n)
+            # Each column's gemv+ger re-reads the trailing matrix from DRAM.
+            traffic = 2.0 * sum(
+                2 * (m - j) * (n - j) * 4 for j in range(n)
+            )
+        elif kind == "lu":
+            calls = cfg.calls_per_column_lu * n
+            flops = lu_flops(n)
+            traffic = 2.0 * sum((n - j) * (n - j) * 4 for j in range(n))
+        else:
+            raise ValueError(f"unknown factorization kind: {kind!r}")
+        launch = calls * cfg.launch_overhead
+        bandwidth = traffic / self.params.global_bandwidth
+        compute = flops / self.params.device.peak_sp_flops
+        return launch + bandwidth + compute
+
+    def gflops(
+        self, kind: Kind, m: int, n: int | None = None, batch: int = 1
+    ) -> float:
+        """Aggregate rate over the batch with the measured concurrency."""
+        n = m if n is None else n
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        per = self.seconds_per_problem(kind, m, n)
+        concurrency = max(1.0, self.config.effective_concurrency)
+        total = per * batch / concurrency
+        flops = qr_flops(m, n) if kind == "qr" else lu_flops(n)
+        return batch * flops / total / 1e9

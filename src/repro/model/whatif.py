@@ -1,0 +1,128 @@
+"""What-if analysis: the predictive model as a design tool.
+
+A model that "accurately predicts and explains" performance is most
+useful when you turn the knobs: what would a GPU with twice the shared
+bandwidth, half the sync latency, or a deeper pipeline do to these
+kernels?  :func:`whatif` rescales any subset of the Table-IV parameters
+and reruns the per-block/per-thread predictions, reporting the
+sensitivity of each workload to each knob.
+
+Findings this reproduces (each asserted by test):
+
+* per-*thread* throughput scales linearly with **global bandwidth** and
+  is indifferent to everything else (the Section IV roofline);
+* per-*block* throughput cares about **gamma** and **shared latency**
+  (the Table VI terms) and barely about global bandwidth -- the entire
+  reason the one-problem-per-block mapping exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .parameters import ModelParameters
+from .per_block_model import predict_per_block
+from .per_thread_model import predict_per_thread
+
+__all__ = ["scale_parameters", "Sensitivity", "whatif"]
+
+
+def scale_parameters(
+    params: ModelParameters,
+    *,
+    alpha_glb: float = 1.0,
+    global_bandwidth: float = 1.0,
+    alpha_sh: float = 1.0,
+    shared_bandwidth: float = 1.0,
+    alpha_sync: float = 1.0,
+    gamma: float = 1.0,
+) -> ModelParameters:
+    """A copy of ``params`` with each parameter multiplied by its factor.
+
+    ``alpha_sync`` scaling is applied through a rescaled device sync
+    curve; since :class:`ModelParameters` keeps the 64-thread figure, the
+    scalar field is scaled directly (the per-block model reads the device
+    curve, so only uniform scalings are supported -- which is what a
+    what-if needs).
+    """
+    for name, factor in (
+        ("alpha_glb", alpha_glb),
+        ("global_bandwidth", global_bandwidth),
+        ("alpha_sh", alpha_sh),
+        ("shared_bandwidth", shared_bandwidth),
+        ("alpha_sync", alpha_sync),
+        ("gamma", gamma),
+    ):
+        if factor <= 0:
+            raise ValueError(f"{name} scale factor must be positive, got {factor}")
+    device = params.device
+    if alpha_sync != 1.0:
+        device = dataclasses.replace(
+            device,
+            sync_base=int(round(device.sync_base * alpha_sync)),
+            sync_per_warp=max(1, int(round(device.sync_per_warp * alpha_sync))),
+        )
+    if gamma != 1.0:
+        device = dataclasses.replace(
+            device, pipeline_latency=int(round(device.pipeline_latency * gamma))
+        )
+    return ModelParameters(
+        device=device,
+        alpha_glb=params.alpha_glb * alpha_glb,
+        global_bandwidth=params.global_bandwidth * global_bandwidth,
+        alpha_sh=params.alpha_sh * alpha_sh,
+        shared_bandwidth=params.shared_bandwidth * shared_bandwidth,
+        alpha_sync=params.alpha_sync * alpha_sync,
+        gamma=params.gamma * gamma,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Sensitivity:
+    """Predicted speedups from doubling each machine resource."""
+
+    workload: str
+    baseline_gflops: float
+    #: knob name -> predicted GFLOPS with that knob improved 2x
+    #: (bandwidths doubled, latencies halved).
+    improved: dict[str, float]
+
+    def speedup(self, knob: str) -> float:
+        return self.improved[knob] / self.baseline_gflops
+
+    def dominant_knob(self) -> str:
+        return max(self.improved, key=lambda k: self.improved[k])
+
+
+def whatif(
+    params: ModelParameters, approach: str, kind: str, n: int
+) -> Sensitivity:
+    """Double every resource, one at a time, and report the speedups.
+
+    ``approach`` is ``"per-thread"`` or ``"per-block"``.  Latency knobs
+    are *halved* (improvement), bandwidth knobs doubled.
+    """
+    knobs = {
+        "global_bandwidth": dict(global_bandwidth=2.0),
+        "shared_latency": dict(alpha_sh=0.5),
+        "sync_latency": dict(alpha_sync=0.5),
+        "gamma": dict(gamma=0.5),
+    }
+
+    def predict(p: ModelParameters) -> float:
+        if approach == "per-thread":
+            return predict_per_thread(p, kind, n).gflops
+        if approach == "per-block":
+            return predict_per_block(p, kind, n).gflops
+        raise ValueError(f"unknown approach {approach!r}")
+
+    baseline = predict(params)
+    improved = {
+        name: predict(scale_parameters(params, **scales))
+        for name, scales in knobs.items()
+    }
+    return Sensitivity(
+        workload=f"{approach} {kind} n={n}",
+        baseline_gflops=baseline,
+        improved=improved,
+    )

@@ -1,0 +1,24 @@
+"""Experiment registry and plain-text reporting."""
+
+from .export import export_experiment, to_csv, to_json
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from .tables import ascii_chart, format_comparison, format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "export_experiment",
+    "to_csv",
+    "to_json",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+    "ascii_chart",
+    "format_comparison",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,94 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+No plotting dependencies: figures are emitted as aligned numeric series
+(the same rows a gnuplot script would consume) plus a coarse ASCII chart
+for quick eyeballing in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "ascii_chart", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(
+    x: Sequence[object],
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x column."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv, *(s[i] for s in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def ascii_chart(
+    x: Sequence[object],
+    y: Sequence[float],
+    width: int = 48,
+    label: str = "",
+) -> str:
+    """A coarse horizontal bar chart: one row per x value."""
+    if len(x) != len(y):
+        raise ValueError("x and y lengths differ")
+    top = max(max(y), 1e-300)
+    lines = [label] if label else []
+    for xv, yv in zip(x, y):
+        bar = "#" * max(0, round(width * yv / top))
+        lines.append(f"{str(xv):>8}  {bar} {_fmt(float(yv))}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Iterable[tuple[str, object, object]],
+    title: str | None = None,
+) -> str:
+    """Paper-vs-measured table with a ratio column where both are numeric."""
+    out_rows = []
+    for name, paper, measured in rows:
+        ratio = ""
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)):
+            if paper:
+                ratio = f"{measured / paper:.2f}x"
+        out_rows.append([name, paper, measured, ratio])
+    return format_table(
+        ["quantity", "paper", "measured", "ratio"], out_rows, title=title
+    )

@@ -1,0 +1,49 @@
+"""Space-time adaptive processing application (Section VII)."""
+
+from .beamforming import AdaptiveWeights, qr_adaptive_weights
+from .benchmark import (
+    RT_STAP_CASES,
+    StapCase,
+    StapResult,
+    run_stap_case,
+    run_table7,
+)
+from .datacube import (
+    DataCube,
+    RadarScenario,
+    generate_datacube,
+    space_time_steering,
+    spatial_steering,
+    temporal_steering,
+)
+from .detection import CfarConfig, CfarResult, cell_averaging_cfar
+from .doppler import doppler_filterbank, training_matrices
+from .pipeline import StapPipelineResult, inject_target, run_pipeline
+from .realtime import RealTimeBudget, RealTimeReport, assess_realtime
+
+__all__ = [
+    "AdaptiveWeights",
+    "qr_adaptive_weights",
+    "RT_STAP_CASES",
+    "StapCase",
+    "StapResult",
+    "run_stap_case",
+    "run_table7",
+    "DataCube",
+    "RadarScenario",
+    "generate_datacube",
+    "space_time_steering",
+    "spatial_steering",
+    "temporal_steering",
+    "CfarConfig",
+    "CfarResult",
+    "cell_averaging_cfar",
+    "doppler_filterbank",
+    "training_matrices",
+    "RealTimeBudget",
+    "RealTimeReport",
+    "assess_realtime",
+    "StapPipelineResult",
+    "inject_target",
+    "run_pipeline",
+]

@@ -1,0 +1,90 @@
+"""QR-based adaptive beamforming weights.
+
+The most demanding phase of STAP is "multiple simultaneous complex QR
+decompositions" of training matrices ``X`` (snapshots x degrees of
+freedom).  The adaptive (MVDR-style) weight for steering vector ``s`` is
+
+    w  proportional to  (X^H X)^{-1} s  =  R^{-1} (R^{-H} s)
+
+where ``X = Q R`` -- two triangular solves against the QR factor, never
+forming the covariance (numerically the whole point of the QR approach:
+the condition number enters once, not squared).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..kernels.batched.qr import qr_factor
+from ..kernels.batched.trsm import solve_lower, solve_upper
+
+__all__ = ["AdaptiveWeights", "qr_adaptive_weights"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptiveWeights:
+    """Batched weights plus the R factors they came from."""
+
+    weights: np.ndarray  # (batch, dof)
+    r: np.ndarray  # (batch, dof, dof)
+
+    def output_power(self, snapshots: np.ndarray) -> np.ndarray:
+        """|w^H x|^2 for a (batch, m, dof) snapshot set, per snapshot."""
+        y = np.einsum("bd,bmd->bm", self.weights.conj(), snapshots)
+        return np.abs(y) ** 2
+
+
+def qr_adaptive_weights(
+    training: np.ndarray,
+    steering: np.ndarray,
+    fast_math: bool = True,
+    r: np.ndarray | None = None,
+) -> AdaptiveWeights:
+    """Compute MVDR weights for a batch of training matrices.
+
+    ``training``: ``(batch, m, dof)`` complex snapshots (m >= dof);
+    ``steering``: ``(dof,)`` or ``(batch, dof)``.  Pass a precomputed
+    ``r`` (e.g. from :func:`repro.tiled.tiled_qr`) to skip the
+    factorization.  Weights are normalized to unit response in the
+    steering direction (``w^H s = 1``).
+    """
+    training = np.asarray(training)
+    if training.ndim == 2:
+        training = training[None]
+    if training.ndim != 3 or training.shape[1] < training.shape[2]:
+        raise ShapeError(
+            f"training set must be tall (batch, m, dof), got {training.shape}"
+        )
+    batch, _, dof = training.shape
+    s = np.asarray(steering, dtype=training.dtype)
+    if s.ndim == 1:
+        if s.shape[0] != dof:
+            raise ShapeError(
+                f"steering length {s.shape[0]} does not match dof {dof}"
+            )
+        s = np.broadcast_to(s, (batch, dof))
+    if s.shape != (batch, dof):
+        raise ShapeError(f"steering shape {s.shape} does not match dof {dof}")
+
+    if r is None:
+        r = qr_factor(training, fast_math=fast_math).r()
+    else:
+        r = np.asarray(r)
+        if r.shape != (batch, dof, dof):
+            raise ShapeError(f"R shape {r.shape} does not match dof {dof}")
+
+    # The covariance the beamformer needs is C = E[x x^H], whose entries
+    # are the *conjugate* of the Gram matrix X^H X = R^H R that the QR
+    # factor provides.  Hence C^{-1} s = conj((R^H R)^{-1} conj(s)):
+    # a lower solve with R^H, an upper solve with R, and a conjugation.
+    rh = np.swapaxes(r.conj(), 1, 2)
+    y = solve_lower(rh, s.conj(), fast_math=fast_math)
+    w = solve_upper(r, y, fast_math=fast_math).conj()
+
+    # Unit gain toward the steering direction.
+    gain = np.einsum("bd,bd->b", w.conj(), s)
+    w = w / gain.conj()[:, None]
+    return AdaptiveWeights(weights=w, r=r)

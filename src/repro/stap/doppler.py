@@ -1,0 +1,59 @@
+"""Doppler processing: pulse-domain filterbank ahead of the STAP solve.
+
+RT_STAP's processing chain Doppler-filters each channel's pulse train
+before adaptive beamforming; post-Doppler STAP then adapts over
+(channel x a few adjacent Doppler bins).  A windowed FFT over the pulse
+axis is all the substrate the QR stage needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .datacube import DataCube
+
+__all__ = ["doppler_filterbank", "training_matrices"]
+
+
+def doppler_filterbank(cube: DataCube, window: str = "hann") -> np.ndarray:
+    """FFT over pulses: (channels, doppler_bins, ranges)."""
+    data = cube.data
+    pulses = data.shape[1]
+    if window == "hann":
+        taper = np.hanning(pulses).astype(np.float32)
+    elif window == "rect":
+        taper = np.ones(pulses, dtype=np.float32)
+    else:
+        raise ValueError(f"unknown window: {window!r}")
+    tapered = data * taper[None, :, None]
+    return np.fft.fft(tapered, axis=1).astype(np.complex64)
+
+
+def training_matrices(
+    cube: DataCube,
+    num_matrices: int,
+    rows: int,
+    dof: int,
+) -> np.ndarray:
+    """Cut ``num_matrices`` training sets of shape (rows, dof) from a cube.
+
+    Snapshots are space-time vectors from consecutive range gates;
+    segments wrap around the range extent so any (num, rows) request can
+    be served from one coherent interval, matching how the benchmark
+    harness feeds the batched QR.
+    """
+    if num_matrices < 1 or rows < 1 or dof < 1:
+        raise ShapeError("training set dimensions must be positive")
+    snaps = cube.snapshots()  # (ranges, channels*pulses)
+    total_dof = snaps.shape[1]
+    if dof > total_dof:
+        raise ShapeError(
+            f"requested {dof} degrees of freedom, cube provides {total_dof}"
+        )
+    ranges = snaps.shape[0]
+    out = np.empty((num_matrices, rows, dof), dtype=np.complex64)
+    for k in range(num_matrices):
+        idx = (np.arange(rows) + k * rows // 2) % ranges
+        out[k] = snaps[idx, :dof]
+    return out

@@ -1,0 +1,100 @@
+"""End-to-end post-Doppler STAP pipeline.
+
+Ties the substrates together the way a radar processor would: simulate a
+coherent interval, Doppler-filter it, carve per-segment training sets,
+batch-factor them with complex QR, and form adaptive weights.  The
+pipeline is the basis of the ``stap_radar`` example and the integration
+tests; it also reports the detection statistic for an injected target so
+correctness is observable end to end (adapted output should beat the
+non-adaptive beamformer under jamming).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .beamforming import AdaptiveWeights, qr_adaptive_weights
+from .datacube import (
+    DataCube,
+    RadarScenario,
+    generate_datacube,
+    space_time_steering,
+)
+from .doppler import training_matrices
+
+__all__ = ["StapPipelineResult", "run_pipeline", "inject_target"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StapPipelineResult:
+    weights: AdaptiveWeights
+    scenario: RadarScenario
+    #: Output SINR-like statistic of the adaptive beamformer at the target.
+    adapted_gain: float
+    #: Same statistic for the non-adaptive (steering-only) beamformer.
+    unadapted_gain: float
+
+    @property
+    def improvement_db(self) -> float:
+        return 10 * np.log10(self.adapted_gain / self.unadapted_gain)
+
+
+def inject_target(
+    cube: DataCube, angle: float, doppler: float, amplitude: float, range_gate: int
+) -> DataCube:
+    """Add a point target to one range gate."""
+    c, p, _ = cube.data.shape
+    v = space_time_steering(c, p, angle, doppler).reshape(c, p)
+    data = cube.data.copy()
+    data[:, :, range_gate] += (amplitude * v).astype(data.dtype)
+    return DataCube(data=data, scenario=cube.scenario)
+
+
+def run_pipeline(
+    scenario: RadarScenario | None = None,
+    target_angle: float = 0.1,
+    target_doppler: float = 0.25,
+    target_amplitude: float = 30.0,
+    segments: int = 8,
+    training_rows: int | None = None,
+    fast_math: bool = True,
+) -> StapPipelineResult:
+    """Simulate, train, adapt, and score one coherent interval."""
+    sc = scenario or RadarScenario()
+    dof = sc.channels * sc.pulses
+    rows = training_rows or max(2 * dof, 3 * dof // 2)
+    cube = generate_datacube(sc)
+    target_gate = sc.ranges // 2
+    cube = inject_target(
+        cube, target_angle, target_doppler, target_amplitude, target_gate
+    )
+
+    # Train on target-free segments (simple cell exclusion: segments are
+    # cut before target injection would matter -- we reuse the clean cube
+    # statistics by training away from the target gate).
+    training = training_matrices(
+        generate_datacube(sc), segments, rows, dof
+    )
+    steering = space_time_steering(sc.channels, sc.pulses, target_angle, target_doppler)
+    weights = qr_adaptive_weights(training, steering, fast_math=fast_math)
+
+    # Score at the target gate with the first segment's weights.
+    w = weights.weights[0]
+    snapshot = cube.snapshots()[target_gate]
+    interference = np.delete(cube.snapshots(), target_gate, axis=0)
+
+    def sinr(wvec: np.ndarray) -> float:
+        signal = np.abs(np.vdot(wvec, snapshot)) ** 2
+        noise = np.mean(np.abs(interference @ wvec.conj()) ** 2)
+        return float(signal / noise)
+
+    adapted = sinr(w)
+    unadapted = sinr(steering / np.linalg.norm(steering) ** 2)
+    return StapPipelineResult(
+        weights=weights,
+        scenario=sc,
+        adapted_gain=adapted,
+        unadapted_gain=unadapted,
+    )

@@ -1,0 +1,81 @@
+"""Real-time budget analysis for the STAP workload.
+
+"Space-time adaptive processing ... is typically limited by the
+processing capabilities of the radar system" (Section I).  This module
+answers the operational question behind Table VII: given a coherent
+processing interval (CPI) rate, does a platform keep up with the QR
+workload in real time, and with how much headroom?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..approaches.base import Approach, Workload
+from .benchmark import StapCase
+
+__all__ = ["RealTimeBudget", "RealTimeReport", "assess_realtime"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RealTimeBudget:
+    """Timing constraints of the radar processing chain."""
+
+    #: Coherent processing intervals per second the radar produces.
+    cpi_rate_hz: float = 10.0
+    #: Fraction of the CPI period available for the QR phase (the rest
+    #: goes to Doppler processing, detection, etc.).
+    qr_time_share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cpi_rate_hz <= 0:
+            raise ValueError("CPI rate must be positive")
+        if not 0 < self.qr_time_share <= 1:
+            raise ValueError("QR time share must be in (0, 1]")
+
+    @property
+    def qr_deadline_seconds(self) -> float:
+        return self.qr_time_share / self.cpi_rate_hz
+
+
+@dataclasses.dataclass(frozen=True)
+class RealTimeReport:
+    """Whether one platform meets the budget for one STAP case."""
+
+    case: StapCase
+    budget: RealTimeBudget
+    seconds_per_cpi: float
+
+    @property
+    def headroom(self) -> float:
+        """Deadline / actual: >1 means real-time with margin."""
+        return self.budget.qr_deadline_seconds / self.seconds_per_cpi
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.headroom >= 1.0
+
+    @property
+    def max_cpi_rate_hz(self) -> float:
+        """Fastest CPI rate this platform could sustain."""
+        return self.budget.qr_time_share / self.seconds_per_cpi
+
+
+def assess_realtime(
+    case: StapCase,
+    approach: Approach,
+    budget: RealTimeBudget | None = None,
+) -> RealTimeReport:
+    """Time one CPI's worth of QR factorizations on ``approach``."""
+    budget = budget or RealTimeBudget()
+    work = Workload(
+        kind="qr",
+        m=case.rows,
+        n=case.cols,
+        batch=case.num_matrices,
+        complex_dtype=True,
+    )
+    if not approach.supports(work):
+        raise ValueError(f"{approach.name} cannot run {case.label}")
+    seconds = approach.seconds(work)
+    return RealTimeReport(case=case, budget=budget, seconds_per_cpi=seconds)

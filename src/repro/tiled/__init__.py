@@ -1,0 +1,14 @@
+"""Tiled QR for matrices too tall for one thread block (Section VII)."""
+
+from .tile_kernels import TileFactor, geqrt, tsqrt
+from .tiled_qr import TiledQrResult, choose_tile_rows, tiled_qr, tiled_qr_timing
+
+__all__ = [
+    "TileFactor",
+    "geqrt",
+    "tsqrt",
+    "TiledQrResult",
+    "choose_tile_rows",
+    "tiled_qr_timing",
+    "tiled_qr",
+]

@@ -1,0 +1,180 @@
+"""The five approaches and the Figure-10 design-space conclusions."""
+
+import numpy as np
+import pytest
+
+from repro.approaches import (
+    CpuLapackApproach,
+    CublasStreamsApproach,
+    HybridBlockedApproach,
+    PerBlockApproach,
+    PerThreadApproach,
+    Workload,
+    best_approach,
+    default_approaches,
+    rank_approaches,
+)
+
+
+class TestWorkload:
+    def test_square_helper(self):
+        w = Workload.square("qr", 56, 5000)
+        assert (w.m, w.n, w.batch) == (56, 56, 5000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Workload("qr", 0, 4, 10)
+        with pytest.raises(ValueError):
+            Workload("qr", 4, 4, 0)
+        with pytest.raises(ValueError):
+            Workload("cholesky", 4, 4, 1)
+
+
+class TestSupports:
+    def test_per_thread_needs_small_square(self):
+        pt = PerThreadApproach()
+        assert pt.supports(Workload.square("qr", 8, 100))
+        assert not pt.supports(Workload.square("qr", 256, 100))
+        assert not pt.supports(Workload("qr", 16, 8, 100))
+
+    def test_per_block_supports_tall_qr(self):
+        pb = PerBlockApproach()
+        assert pb.supports(Workload("qr", 240, 66, 128, complex_dtype=True))
+        assert not pb.supports(Workload("lu", 16, 8, 100))
+
+    def test_hybrid_is_real_only(self):
+        hy = HybridBlockedApproach()
+        assert hy.supports(Workload.square("qr", 512, 1))
+        assert not hy.supports(Workload.square("qr", 512, 1, complex_dtype=True))
+        assert not hy.supports(Workload.square("gauss_jordan", 64, 10))
+
+    def test_cpu_supports_everything_tall(self):
+        cpu = CpuLapackApproach()
+        for kind in ("qr", "lu", "gauss_jordan", "least_squares"):
+            assert cpu.supports(Workload.square(kind, 32, 100))
+
+
+class TestPerBlockReplayConsistency:
+    """The charge replay must match the device kernels' cycle counts."""
+
+    @pytest.mark.parametrize("n", [16, 32, 56])
+    def test_qr_replay_matches_device_kernel(self, n):
+        from repro.kernels.batched import random_batch
+        from repro.kernels.device import per_block_qr
+
+        a = random_batch(2, n, n, dtype=np.float32, seed=n)
+        device_cycles = per_block_qr(a).cycles
+        replay = PerBlockApproach().launch(Workload.square("qr", n, 1))
+        assert replay.cycles == pytest.approx(device_cycles, rel=0.02)
+
+    @pytest.mark.parametrize("n", [16, 32, 56])
+    def test_lu_replay_matches_device_kernel(self, n):
+        from repro.kernels.batched import diagonally_dominant_batch
+        from repro.kernels.device import per_block_lu
+
+        a = diagonally_dominant_batch(2, n, dtype=np.float32, seed=n)
+        device_cycles = per_block_lu(a).cycles
+        replay = PerBlockApproach().launch(Workload.square("lu", n, 1))
+        assert replay.cycles == pytest.approx(device_cycles, rel=0.02)
+
+    def test_gj_replay_matches_device_kernel(self):
+        from repro.kernels.batched import diagonally_dominant_batch, rhs_batch
+        from repro.kernels.device import per_block_gauss_jordan
+
+        a = diagonally_dominant_batch(2, 32, dtype=np.float32)
+        b = rhs_batch(2, 32, dtype=np.float32)[:, :, 0]
+        device_cycles = per_block_gauss_jordan(a, b).cycles
+        replay = PerBlockApproach().launch(Workload.square("gauss_jordan", 32, 1))
+        assert replay.cycles == pytest.approx(device_cycles, rel=0.05)
+
+
+class TestFigure10DesignSpace:
+    """'The design space for different sized problems is not flat.'"""
+
+    def test_per_thread_wins_tiny_problems(self):
+        w = Workload.square("qr", 8, 64000)
+        assert best_approach(w).name == "per-thread"
+
+    def test_per_block_wins_small_problems(self):
+        for n in (32, 56, 64, 128):
+            w = Workload.square("qr", n, 8000)
+            assert best_approach(w).name == "per-block", n
+
+    def test_hybrid_wins_large_single_problems(self):
+        for n in (1024, 4096, 8192):
+            w = Workload.square("qr", n, 1)
+            assert best_approach(w).name == "hybrid-blocked", n
+
+    def test_crossover_exists_between_block_and_hybrid(self):
+        # Somewhere between 128 and 2048 the hybrid overtakes per-block.
+        pb, hy = PerBlockApproach(), HybridBlockedApproach()
+        small = Workload.square("qr", 128, 100)
+        large = Workload.square("qr", 2048, 100)
+        assert pb.gflops(small) > hy.gflops(small)
+        assert hy.gflops(large) > pb.gflops(large)
+
+    def test_streams_never_wins(self):
+        # Section VI-C: no benefit from streams at any tested size.
+        for n in (16, 64, 256, 1024):
+            w = Workload.square("qr", n, 1000)
+            assert best_approach(w).name != "cublas-streams", n
+
+    def test_streams_loses_to_cpu_for_small(self):
+        w = Workload.square("qr", 56, 5000)
+        assert CublasStreamsApproach().gflops(w) < CpuLapackApproach().gflops(w)
+
+    def test_ranking_is_sorted(self):
+        ranks = rank_approaches(Workload.square("qr", 64, 1000))
+        values = [r.gflops for r in ranks]
+        assert values == sorted(values, reverse=True)
+
+    def test_unsupported_workload_raises(self):
+        w = Workload("qr", 8, 16, 10)  # wide: nobody factors it
+        with pytest.raises(ValueError):
+            rank_approaches(w)
+
+
+class TestFigure11Comparisons:
+    def test_per_block_vs_mkl_headline_at_56(self):
+        # Abstract: 29x faster than MKL for 5000 56x56 SP QRs.
+        w = Workload.square("qr", 56, 5000)
+        gpu = PerBlockApproach().gflops(w)
+        mkl = CpuLapackApproach().gflops(w)
+        assert 15 < gpu / mkl < 45
+
+    def test_per_block_vs_magma_two_orders_at_56(self):
+        # "up to 140x faster than the existing GPU library".
+        w = Workload.square("qr", 56, 5000)
+        gpu = PerBlockApproach().gflops(w)
+        magma = HybridBlockedApproach().gflops(w)
+        assert 50 < gpu / magma < 400
+
+    def test_magma_cpu_start_beats_gpu_start_small(self):
+        # Figure 11: "The CPU-start is faster because MAGMA solves these
+        # problems mostly on the CPU anyway."
+        w = Workload.square("qr", 56, 100)
+        cpu_start = HybridBlockedApproach(gpu_start=False).gflops(w)
+        gpu_start = HybridBlockedApproach(gpu_start=True).gflops(w)
+        assert cpu_start > gpu_start
+
+    def test_gpu_wins_all_figure11_sizes(self):
+        pb, cpu = PerBlockApproach(), CpuLapackApproach()
+        for n in range(8, 145, 8):
+            w = Workload.square("qr", n, 8000)
+            assert pb.gflops(w) > cpu.gflops(w), n
+
+
+class TestSeconds:
+    def test_seconds_consistent_with_gflops(self):
+        w = Workload.square("qr", 56, 1000)
+        for approach in default_approaches():
+            if not approach.supports(w):
+                continue
+            secs = approach.seconds(w)
+            assert secs > 0
+
+    def test_cpu_seconds_scale_with_batch(self):
+        cpu = CpuLapackApproach()
+        one = cpu.seconds(Workload.square("qr", 56, 400))
+        two = cpu.seconds(Workload.square("qr", 56, 800))
+        assert two == pytest.approx(2 * one, rel=0.01)

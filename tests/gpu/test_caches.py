@@ -1,0 +1,109 @@
+"""Tag-cache (L1/L2) and TLB state-machine behaviour."""
+
+import pytest
+
+from repro.gpu import G80, QUADRO_6000, L1Cache, L2Cache, TagCache, Tlb
+
+
+class TestTagCache:
+    def test_first_access_misses_second_hits(self):
+        c = TagCache(1024, 128, 2)
+        assert c.access(0) is False
+        assert c.access(0) is True
+
+    def test_same_line_different_offsets_hit(self):
+        c = TagCache(1024, 128, 2)
+        c.access(0)
+        assert c.access(127) is True
+        assert c.access(128) is False
+
+    def test_lru_eviction_within_set(self):
+        # 2 sets x 2 ways, 128B lines: lines 0,2,4 all map to set 0.
+        c = TagCache(512, 128, 2)
+        c.access(0)
+        c.access(2 * 128)
+        c.access(4 * 128)  # evicts line 0
+        assert c.access(0) is False
+
+    def test_lru_keeps_recently_used(self):
+        c = TagCache(512, 128, 2)
+        c.access(0)
+        c.access(2 * 128)
+        c.access(0)  # refresh line 0
+        c.access(4 * 128)  # evicts line 2*128, not line 0
+        assert c.access(0) is True
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        c = TagCache(64 * 1024, 128, 16)
+        lines = [i * 128 for i in range(64 * 1024 // 128)]
+        for a in lines:
+            c.access(a)
+        assert all(c.access(a) for a in lines)
+
+    def test_zero_size_cache_never_hits(self):
+        c = TagCache(0, 128, 1)
+        c.access(0)
+        assert c.access(0) is False
+        assert not c.enabled
+
+    def test_hit_rate_statistics(self):
+        c = TagCache(1024, 128, 2)
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_reset_clears_state(self):
+        c = TagCache(1024, 128, 2)
+        c.access(0)
+        c.reset()
+        assert c.access(0) is False
+        assert c.misses == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            TagCache(1024, 0, 2)
+
+
+class TestDeviceCaches:
+    def test_l2_sized_from_device(self):
+        l2 = L2Cache(QUADRO_6000)
+        assert l2.num_sets * l2.ways * l2.line_bytes == 768 * 1024
+
+    def test_g80_l2_disabled(self):
+        l2 = L2Cache(G80)
+        assert not l2.enabled
+
+    def test_l1_sized_from_device(self):
+        l1 = L1Cache(QUADRO_6000)
+        assert l1.num_sets * l1.ways * l1.line_bytes == 16 * 1024
+
+
+class TestTlb:
+    def test_page_locality_hits(self):
+        tlb = Tlb(QUADRO_6000)
+        tlb.access(0)
+        assert tlb.access(QUADRO_6000.page_bytes - 1) is True
+
+    def test_new_page_misses(self):
+        tlb = Tlb(QUADRO_6000)
+        tlb.access(0)
+        assert tlb.access(QUADRO_6000.page_bytes) is False
+
+    def test_capacity_eviction_is_lru(self):
+        tlb = Tlb(QUADRO_6000)
+        page = QUADRO_6000.page_bytes
+        for i in range(QUADRO_6000.tlb_entries + 1):
+            tlb.access(i * page)
+        assert tlb.access(0) is False  # page 0 was LRU and evicted
+        assert tlb.access(QUADRO_6000.tlb_entries * page) is True
+
+    def test_reach(self):
+        tlb = Tlb(QUADRO_6000)
+        assert tlb.reach_bytes == QUADRO_6000.tlb_entries * QUADRO_6000.page_bytes
+
+    def test_reset(self):
+        tlb = Tlb(QUADRO_6000)
+        tlb.access(0)
+        tlb.reset()
+        assert tlb.access(0) is False
+        assert tlb.hits == 0

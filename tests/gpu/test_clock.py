@@ -1,0 +1,129 @@
+"""Cycle-clock accounting semantics."""
+
+import pytest
+
+from repro.gpu import CycleBreakdown, CycleClock, TraceEvent
+
+
+class TestCharging:
+    def test_starts_at_zero(self):
+        assert CycleClock().now == 0.0
+
+    def test_accumulates_by_category(self):
+        clk = CycleClock()
+        clk.charge(10, "compute")
+        clk.charge(5, "compute")
+        clk.charge(7, "shared")
+        assert clk.category("compute") == 15
+        assert clk.category("shared") == 7
+        assert clk.now == 22
+
+    def test_unknown_category_reads_zero(self):
+        assert CycleClock().category("nonexistent") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleClock().charge(-1, "compute")
+
+    def test_reset(self):
+        clk = CycleClock()
+        clk.charge(10, "compute")
+        clk.reset()
+        assert clk.now == 0.0
+        assert clk.breakdown() == {}
+
+
+class TestPhases:
+    def test_phase_tags_charges(self):
+        clk = CycleClock()
+        with clk.phase("panel0"):
+            clk.charge(100, "compute")
+            clk.charge(27, "shared")
+        clk.charge(46, "sync")  # outside any phase
+        assert clk.phase_breakdown("panel0").total == 127
+        assert clk.phase_totals() == {"panel0": 127}
+        assert clk.now == 173
+
+    def test_nested_phases_charge_innermost(self):
+        clk = CycleClock()
+        with clk.phase("outer"):
+            with clk.phase("inner"):
+                clk.charge(10, "compute")
+            clk.charge(1, "compute")
+        assert clk.phase_breakdown("inner").total == 10
+        assert clk.phase_breakdown("outer").total == 1
+
+    def test_phase_stack_restored_after_exception(self):
+        clk = CycleClock()
+        with pytest.raises(RuntimeError):
+            with clk.phase("p"):
+                raise RuntimeError("boom")
+        clk.charge(5, "compute")
+        assert clk.phase_breakdown("p").total == 0
+
+    def test_unknown_phase_is_empty(self):
+        assert CycleClock().phase_breakdown("nope").total == 0.0
+
+
+class TestBreakdown:
+    def test_total(self):
+        bd = CycleBreakdown({"compute": 10.0, "sync": 5.0})
+        assert bd.total == 15.0
+
+    def test_addition_merges_categories(self):
+        a = CycleBreakdown({"compute": 10.0})
+        b = CycleBreakdown({"compute": 5.0, "shared": 2.0})
+        merged = a + b
+        assert merged == {"compute": 15.0, "shared": 2.0}
+
+    def test_scaled(self):
+        bd = CycleBreakdown({"compute": 10.0}).scaled(2.5)
+        assert bd["compute"] == 25.0
+
+    def test_addition_does_not_mutate_operands(self):
+        a = CycleBreakdown({"compute": 10.0})
+        b = CycleBreakdown({"compute": 1.0})
+        _ = a + b
+        assert a["compute"] == 10.0
+        assert b["compute"] == 1.0
+
+
+class TestTracing:
+    def test_off_by_default(self):
+        clk = CycleClock()
+        clk.charge(10, "compute")
+        assert clk.events == []
+
+    def test_events_recorded_in_order(self):
+        clk = CycleClock(trace=True)
+        with clk.phase("p0"):
+            clk.charge(10, "compute")
+        clk.charge(5, "sync")
+        assert [e.category for e in clk.events] == ["compute", "sync"]
+        assert clk.events[0].start == 0
+        assert clk.events[1].start == 10
+        assert clk.events[0].phase == "p0"
+        assert clk.events[1].phase is None
+
+    def test_events_sum_to_total(self):
+        clk = CycleClock(trace=True)
+        for i in range(5):
+            clk.charge(i + 1, "compute")
+        assert sum(e.cycles for e in clk.events) == clk.now
+
+    def test_reset_clears_events(self):
+        clk = CycleClock(trace=True)
+        clk.charge(1, "compute")
+        clk.reset()
+        assert clk.events == []
+
+    def test_engine_trace_passthrough(self):
+        import numpy as np
+
+        from repro.gpu import QUADRO_6000, BlockEngine
+
+        eng = BlockEngine(QUADRO_6000, 64, 32, trace=True)
+        eng.charge_flops(3)
+        eng.sync()
+        assert len(eng.clock.events) >= 2
+        assert isinstance(eng.clock.events[0], TraceEvent)

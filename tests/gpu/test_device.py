@@ -1,0 +1,109 @@
+"""Device-spec invariants and the Table-I figures."""
+
+import math
+
+import pytest
+
+from repro.gpu import G80, GTX480, QUADRO_6000, DeviceSpec
+
+
+class TestQuadro6000TableI:
+    """The preset must reproduce Table I of the paper."""
+
+    def test_multiprocessors(self):
+        assert QUADRO_6000.num_sms == 14
+
+    def test_total_fpus(self):
+        assert QUADRO_6000.total_fpus == 448
+
+    def test_core_clock(self):
+        assert QUADRO_6000.clock_hz == pytest.approx(1.15e9)
+
+    def test_max_registers_per_thread(self):
+        assert QUADRO_6000.max_registers_per_thread == 64
+
+    def test_global_bandwidth(self):
+        assert QUADRO_6000.global_bandwidth == pytest.approx(144e9)
+
+    def test_global_memory_size(self):
+        assert QUADRO_6000.global_mem_bytes == 6 * 1024**3
+
+    def test_peak_sp_flops(self):
+        # Table I: 1.03 TFlop/s
+        assert QUADRO_6000.peak_sp_flops == pytest.approx(1.03e12, rel=0.01)
+
+    def test_peak_sp_per_fpu(self):
+        # Table I: 2.3 GFlop/s per FPU
+        assert QUADRO_6000.peak_sp_per_fpu == pytest.approx(2.3e9, rel=0.01)
+
+    def test_peak_shared_bandwidth(self):
+        # Section II-B1: 14 units * 32 banks * 4 B * 575 MHz = 1030 GB/s
+        assert QUADRO_6000.peak_shared_bandwidth == pytest.approx(1030e9, rel=0.01)
+
+    def test_l2_size(self):
+        assert QUADRO_6000.l2_bytes == 768 * 1024
+
+    def test_pipeline_latency_is_gamma(self):
+        # Table IV: 18 cycles per FP pipeline pass.
+        assert QUADRO_6000.pipeline_latency == 18
+
+    def test_shared_latency(self):
+        # Table III / IV: 27 cycles.
+        assert QUADRO_6000.shared_latency == 27
+
+    def test_global_latency(self):
+        # Table III / IV: 570 cycles.
+        assert QUADRO_6000.global_latency == 570
+
+
+class TestSyncLatency:
+    def test_64_threads_matches_table_iv(self):
+        assert QUADRO_6000.sync_latency(64) == 46
+
+    def test_monotone_in_threads(self):
+        values = [QUADRO_6000.sync_latency(t) for t in range(32, 1056, 32)]
+        assert values == sorted(values)
+
+    def test_zero_threads_costs_nothing(self):
+        assert QUADRO_6000.sync_latency(0) == 0
+
+    def test_partial_warp_rounds_up(self):
+        assert QUADRO_6000.sync_latency(33) == QUADRO_6000.sync_latency(64)
+
+    def test_figure2_magnitude_at_1024_threads(self):
+        # Figure 2 reaches roughly 170-200 cycles at 1024 threads/SM.
+        assert 150 <= QUADRO_6000.sync_latency(1024) <= 200
+
+
+class TestUnitConversions:
+    def test_cycles_seconds_roundtrip(self):
+        s = QUADRO_6000.cycles_to_seconds(1.15e9)
+        assert s == pytest.approx(1.0)
+        assert QUADRO_6000.seconds_to_cycles(s) == pytest.approx(1.15e9)
+
+    def test_conversion_inverse_property(self):
+        for cycles in (1, 570, 1e6):
+            roundtrip = QUADRO_6000.seconds_to_cycles(
+                QUADRO_6000.cycles_to_seconds(cycles)
+            )
+            assert roundtrip == pytest.approx(cycles)
+
+
+class TestOtherPresets:
+    def test_g80_shared_latency_matches_volkov(self):
+        # Section II-C1 validates the methodology against Volkov's 36 cycles.
+        assert G80.shared_latency == 36
+
+    def test_g80_has_no_l2(self):
+        assert G80.l2_bytes == 0
+
+    def test_gtx480_is_gf100_like(self):
+        assert GTX480.max_registers_per_thread == 64
+        assert GTX480.shared_banks == 32
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            QUADRO_6000.num_sms = 15  # type: ignore[misc]
+
+    def test_warps_per_block_limit(self):
+        assert QUADRO_6000.warps_per_block_limit == 32

@@ -1,0 +1,94 @@
+"""Property tests on the simulator's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import QUADRO_6000, BlockEngine, MemorySystem
+
+
+class TestDeterminism:
+    @given(
+        stride=st.integers(min_value=1, max_value=1 << 16),
+        hops=st.integers(min_value=16, max_value=256),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_chase_is_deterministic(self, stride, hops):
+        ms = MemorySystem(QUADRO_6000)
+        a = ms.chase(stride, 1 << 22, hops=hops)
+        b = ms.chase(stride, 1 << 22, hops=hops)
+        assert a.avg_latency_cycles == b.avg_latency_cycles
+
+    def test_engine_charges_are_order_independent_totals(self):
+        ops = [("flops", 10), ("shared", 4), ("sync", None), ("flops", 3)]
+
+        def run(sequence):
+            eng = BlockEngine(QUADRO_6000, 64, 32, account_overhead=False)
+            for op, arg in sequence:
+                if op == "flops":
+                    eng.charge_flops(arg)
+                elif op == "shared":
+                    eng.charge_shared(arg)
+                else:
+                    eng.sync()
+            return eng.clock.now
+
+        assert run(ops) == run(list(reversed(ops)))
+
+
+class TestMonotonicity:
+    @given(nbytes=st.integers(min_value=4, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_block_transfer_monotone_in_bytes(self, nbytes):
+        ms = MemorySystem(QUADRO_6000)
+        assert ms.block_transfer_cycles(nbytes + 4, 8) > ms.block_transfer_cycles(
+            nbytes, 8
+        )
+
+    @given(
+        ops=st.integers(min_value=0, max_value=1000),
+        extra=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_work_never_cheaper(self, ops, extra):
+        a = BlockEngine(QUADRO_6000, 64, 32, account_overhead=False)
+        b = BlockEngine(QUADRO_6000, 64, 32, account_overhead=False)
+        a.charge_flops(ops)
+        b.charge_flops(ops + extra)
+        assert b.clock.now > a.clock.now
+
+    @given(regs=st.integers(min_value=65, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_spilling_kernels_always_pay(self, regs):
+        fits = BlockEngine(QUADRO_6000, 64, 60, account_overhead=False)
+        spills = BlockEngine(QUADRO_6000, 64, regs, account_overhead=False)
+        fits.charge_flops(50)
+        spills.charge_flops(50)
+        assert spills.clock.now > fits.clock.now
+
+
+class TestBreakdownConsistency:
+    @given(
+        flops=st.integers(min_value=0, max_value=500),
+        shared=st.integers(min_value=0, max_value=100),
+        syncs=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_breakdown_sums_to_total(self, flops, shared, syncs):
+        eng = BlockEngine(QUADRO_6000, 64, 32, account_overhead=True)
+        eng.charge_flops(flops)
+        eng.charge_shared(shared)
+        for _ in range(syncs):
+            eng.sync()
+        assert eng.clock.breakdown().total == pytest.approx(eng.clock.now)
+
+    def test_throughput_scales_with_batch_waves(self):
+        eng = BlockEngine(QUADRO_6000, 64, 32)
+        eng.charge_flops(100)
+        res = eng.result(flops_per_block=1000)
+        resident = res.occupancy.blocks_per_chip
+        one_wave = res.throughput_gflops(resident)
+        two_waves = res.throughput_gflops(2 * resident)
+        assert one_wave == pytest.approx(two_waves)
+        assert res.throughput_gflops(resident + 1) < one_wave

@@ -1,0 +1,129 @@
+"""Fast-math (22-mantissa-bit) emulation accuracy bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    MANTISSA_BITS,
+    fast_divide,
+    fast_reciprocal,
+    fast_rsqrt,
+    fast_sqrt,
+    truncate_mantissa,
+)
+
+#: Relative error bound for a result correct to 22 of 24 mantissa bits.
+REL_BOUND_F32 = 2.0 ** -(MANTISSA_BITS - 1)
+
+finite_pos = st.floats(
+    min_value=1e-30, max_value=1e30, allow_nan=False, allow_infinity=False
+)
+finite = st.floats(
+    min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False
+).filter(lambda x: abs(x) > 1e-30)
+
+
+class TestTruncation:
+    def test_exact_values_unchanged(self):
+        # Values representable in 22 bits pass through exactly.
+        x = np.float32(1.5)
+        assert truncate_mantissa(x) == x
+
+    def test_truncation_error_bounded_f32(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.1, 10.0, 1000).astype(np.float32)
+        t = truncate_mantissa(x)
+        rel = np.abs((t - x) / x)
+        assert rel.max() <= REL_BOUND_F32
+
+    def test_truncation_error_bounded_f64(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.1, 10.0, 1000)
+        t = truncate_mantissa(x, bits=40)
+        rel = np.abs((t - x) / x)
+        assert rel.max() <= 2.0**-39
+
+    def test_complex64_componentwise(self):
+        z = np.array([1.2345678 + 2.3456789j], dtype=np.complex64)
+        t = truncate_mantissa(z)
+        assert t.dtype == np.complex64
+        assert abs(t[0].real - z[0].real) <= REL_BOUND_F32 * abs(z[0].real)
+        assert abs(t[0].imag - z[0].imag) <= REL_BOUND_F32 * abs(z[0].imag)
+
+    def test_full_precision_requested_is_identity(self):
+        x = np.float32(1.2345678)
+        assert truncate_mantissa(x, bits=24) == x
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(TypeError):
+            truncate_mantissa(np.array([1], dtype=np.int32))
+
+    def test_does_not_mutate_input(self):
+        x = np.array([1.2345678], dtype=np.float32)
+        before = x.copy()
+        truncate_mantissa(x)
+        np.testing.assert_array_equal(x, before)
+
+
+class TestFastOps:
+    @given(finite)
+    @settings(max_examples=200, deadline=None)
+    def test_reciprocal_within_22_bits(self, x):
+        x32 = np.float32(x)
+        if x32 == 0 or not np.isfinite(1.0 / x32):
+            return
+        r = fast_reciprocal(x32)
+        exact = 1.0 / np.float64(x32)
+        assert abs((np.float64(r) - exact) / exact) <= 2 * REL_BOUND_F32
+
+    @given(finite, finite)
+    @settings(max_examples=200, deadline=None)
+    def test_divide_within_22_bits(self, a, b):
+        a32, b32 = np.float32(a), np.float32(b)
+        with np.errstate(over="ignore", divide="ignore"):
+            quotient = a32 / b32
+        # Skip subnormal results: the 22-bit guarantee (like the hardware
+        # fast path, which flushes to zero) only covers normal numbers.
+        if b32 == 0 or not np.isfinite(quotient) or abs(quotient) < 1.2e-38:
+            return
+        q = fast_divide(a32, b32)
+        exact = np.float64(a32) / np.float64(b32)
+        assert abs((np.float64(q) - exact) / exact) <= 4 * REL_BOUND_F32
+
+    @given(finite_pos)
+    @settings(max_examples=200, deadline=None)
+    def test_sqrt_within_22_bits(self, x):
+        x32 = np.float32(x)
+        if x32 == 0 or not np.isfinite(x32):
+            return
+        s = fast_sqrt(x32)
+        exact = np.sqrt(np.float64(x32))
+        assert abs((np.float64(s) - exact) / exact) <= 4 * REL_BOUND_F32
+
+    def test_sqrt_of_zero_is_zero(self):
+        assert fast_sqrt(np.float32(0.0)) == 0.0
+
+    def test_sqrt_of_zero_array(self):
+        out = fast_sqrt(np.array([0.0, 4.0], dtype=np.float32))
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_rsqrt_matches_inverse_sqrt(self):
+        x = np.array([0.25, 1.0, 4.0, 1e6], dtype=np.float32)
+        np.testing.assert_allclose(fast_rsqrt(x), 1.0 / np.sqrt(x), rtol=1e-6)
+
+    def test_fastmath_differs_from_ieee_somewhere(self):
+        # The emulation must actually lose precision relative to IEEE,
+        # otherwise the accuracy experiments are vacuous.
+        rng = np.random.default_rng(2)
+        x = rng.uniform(1.0, 2.0, 10000).astype(np.float32)
+        ieee = (np.float32(1.0) / x).astype(np.float32)
+        fast = fast_reciprocal(x)
+        assert np.any(ieee != fast)
+
+    def test_vector_shapes_preserved(self):
+        x = np.ones((3, 4, 5), dtype=np.float32) * 3.0
+        assert fast_reciprocal(x).shape == (3, 4, 5)
+        assert fast_sqrt(x).shape == (3, 4, 5)

@@ -1,0 +1,90 @@
+"""Occupancy-calculator behaviour, including the paper's launch shapes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LaunchConfigurationError
+from repro.gpu import QUADRO_6000, occupancy
+
+
+class TestPaperConfigurations:
+    def test_64_threads_64_regs_gives_8_blocks(self):
+        # Section V-C: "eight thread blocks per multiprocessor for a total
+        # of 14 x 8 = 112 problems simultaneously".
+        occ = occupancy(QUADRO_6000, 64, 64)
+        assert occ.blocks_per_sm == 8
+        assert occ.blocks_per_chip == 112
+
+    def test_256_threads_64_regs_gives_2_blocks(self):
+        # Figure 9: "switch from using 64 threads per block to 256 ...
+        # reduces the number of simultaneous blocks ... from 8 to 2".
+        occ = occupancy(QUADRO_6000, 256, 64)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "registers"
+
+    def test_small_blocks_hit_block_slot_limit(self):
+        occ = occupancy(QUADRO_6000, 32, 16)
+        assert occ.blocks_per_sm == QUADRO_6000.max_blocks_per_sm
+        assert occ.limiter == "blocks"
+
+
+class TestLimits:
+    def test_thread_slot_limit(self):
+        occ = occupancy(QUADRO_6000, 1024, 16)
+        assert occ.blocks_per_sm == 1  # 1536 // 1024
+        assert occ.active_threads_per_sm == 1024
+
+    def test_shared_memory_limit(self):
+        occ = occupancy(
+            QUADRO_6000, 64, 16, shared_bytes_per_block=20 * 1024
+        )
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared"
+
+    def test_too_many_threads_per_block_raises(self):
+        with pytest.raises(LaunchConfigurationError):
+            occupancy(QUADRO_6000, 2048, 16)
+
+    def test_zero_threads_raises(self):
+        with pytest.raises(LaunchConfigurationError):
+            occupancy(QUADRO_6000, 0, 16)
+
+    def test_impossible_shared_request_raises(self):
+        with pytest.raises(LaunchConfigurationError):
+            occupancy(
+                QUADRO_6000, 64, 16,
+                shared_bytes_per_block=QUADRO_6000.shared_mem_per_sm + 1,
+            )
+
+    def test_negative_resources_raise(self):
+        with pytest.raises(LaunchConfigurationError):
+            occupancy(QUADRO_6000, 64, -1)
+
+
+class TestDerivedQuantities:
+    def test_active_warps(self):
+        occ = occupancy(QUADRO_6000, 96, 20)
+        assert occ.active_warps_per_sm == occ.blocks_per_sm * 3
+
+    def test_occupancy_fraction_bounded(self):
+        occ = occupancy(QUADRO_6000, 256, 20)
+        assert 0.0 < occ.occupancy_fraction <= 1.0
+
+    @given(
+        threads=st.integers(min_value=1, max_value=1024),
+        regs=st.integers(min_value=1, max_value=63),
+    )
+    def test_never_exceeds_hardware_limits(self, threads, regs):
+        try:
+            occ = occupancy(QUADRO_6000, threads, regs)
+        except LaunchConfigurationError:
+            return
+        assert 1 <= occ.blocks_per_sm <= QUADRO_6000.max_blocks_per_sm
+        assert occ.active_threads_per_sm <= QUADRO_6000.max_threads_per_sm
+
+    @given(regs=st.integers(min_value=1, max_value=62))
+    def test_more_registers_never_increases_blocks(self, regs):
+        a = occupancy(QUADRO_6000, 128, regs).blocks_per_sm
+        b = occupancy(QUADRO_6000, 128, regs + 2).blocks_per_sm
+        assert b <= a

@@ -1,0 +1,83 @@
+"""Register allocation and spill accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RegisterFileOverflowError
+from repro.gpu import QUADRO_6000, RegisterAllocation, registers_for_matrix
+
+
+class TestAllocation:
+    def test_within_limit_does_not_spill(self):
+        alloc = RegisterAllocation(QUADRO_6000, 63)
+        assert not alloc.spills
+        assert alloc.resident == 63
+        assert alloc.spill_fraction == 0.0
+
+    def test_at_limit_does_not_spill(self):
+        assert not RegisterAllocation(QUADRO_6000, 64).spills
+
+    def test_beyond_limit_spills(self):
+        alloc = RegisterAllocation(QUADRO_6000, 80)
+        assert alloc.spills
+        assert alloc.spilled == 16
+        assert alloc.resident == 64
+        assert alloc.spill_fraction == pytest.approx(16 / 80)
+
+    def test_require_resident_raises_on_spill(self):
+        with pytest.raises(RegisterFileOverflowError):
+            RegisterAllocation(QUADRO_6000, 100).require_resident()
+
+    def test_require_resident_passes_without_spill(self):
+        RegisterAllocation(QUADRO_6000, 30).require_resident()
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterAllocation(QUADRO_6000, -1)
+
+    def test_granted_rounds_to_allocation_unit(self):
+        # Fermi grants registers in 2-per-thread units (64 per warp).
+        assert RegisterAllocation(QUADRO_6000, 33).granted() == 34
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_resident_plus_spilled_equals_requested(self, n):
+        alloc = RegisterAllocation(QUADRO_6000, n)
+        assert alloc.resident + alloc.spilled == n
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_spill_fraction_in_unit_interval(self, n):
+        frac = RegisterAllocation(QUADRO_6000, n).spill_fraction
+        assert 0.0 <= frac < 1.0
+
+
+class TestRegistersForMatrix:
+    def test_small_real_matrix_fits_per_thread(self):
+        # A 7x7 float matrix fits a thread's register file (Section IV).
+        assert registers_for_matrix(7, 7) <= 64
+
+    def test_8x8_real_matrix_spills_per_thread(self):
+        # "For dimensions past 8 the problems no longer fit" (Figure 4).
+        assert registers_for_matrix(8, 8) > 64
+
+    def test_complex_elements_take_two_registers(self):
+        real = registers_for_matrix(4, 4)
+        cplx = registers_for_matrix(4, 4, complex_dtype=True)
+        assert cplx - real == 16
+
+    def test_monotone_in_tile_size(self):
+        assert registers_for_matrix(3, 3) < registers_for_matrix(4, 4)
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            registers_for_matrix(-1, 2)
+
+    def test_56x56_block_tile_is_resident(self):
+        # 56x56 over 64 threads = 7x7 per thread: the paper's flagship size.
+        regs = registers_for_matrix(7, 7)
+        assert not RegisterAllocation(QUADRO_6000, regs).spills
+
+    def test_64x64_block_tile_spills(self):
+        # Figure 9: "false predictions at 64 ... due to register spilling".
+        regs = registers_for_matrix(8, 8)
+        assert RegisterAllocation(QUADRO_6000, regs).spills

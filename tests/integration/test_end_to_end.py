@@ -1,0 +1,161 @@
+"""Cross-module integration: calibration -> model -> kernels -> reports."""
+
+import numpy as np
+import pytest
+
+from repro.approaches import PerBlockApproach, Workload, best_approach
+from repro.gpu import GTX480, QUADRO_6000
+from repro.kernels.batched import (
+    QrFactors,
+    diagonally_dominant_batch,
+    qr_reconstruction_error,
+    qr_unpack,
+    random_batch,
+    rhs_batch,
+    solve_residual,
+)
+from repro.kernels.device import per_block_lu, per_block_qr, per_block_qr_solve
+from repro.microbench import calibrate
+from repro.model import ModelParameters, predict_per_block
+
+
+class TestCalibrationFeedsModel:
+    """The measured parameters must drive the same predictions as the
+    paper's published ones."""
+
+    def test_predictions_agree_between_parameter_sets(self):
+        measured = calibrate(QUADRO_6000)
+        published = ModelParameters.paper_table_iv()
+        for n in (16, 56, 112):
+            a = predict_per_block(measured, "qr", n).gflops
+            b = predict_per_block(published, "qr", n).gflops
+            assert a == pytest.approx(b, rel=0.06), n
+
+
+class TestModelTracksEngine:
+    """Predicted (Table VI) vs engine-measured, across kinds and sizes."""
+
+    @pytest.mark.parametrize("kind", ["qr", "lu"])
+    @pytest.mark.parametrize("n", [16, 32, 56])
+    def test_no_spill_sizes_within_25_percent(self, kind, n):
+        params = ModelParameters.paper_table_iv()
+        predicted = predict_per_block(params, kind, n).gflops
+        gen = random_batch if kind == "qr" else (
+            lambda b, m, k, dtype, seed: diagonally_dominant_batch(b, m, dtype=dtype, seed=seed)
+        )
+        a = gen(2, n, n, dtype=np.float32, seed=n)
+        runner = per_block_qr if kind == "qr" else per_block_lu
+        measured = runner(a).launch.throughput_gflops()
+        assert measured == pytest.approx(predicted, rel=0.25), (kind, n)
+
+
+class TestDispatcherRunsRealKernels:
+    """Pick the winning approach, then actually execute the workload."""
+
+    def test_per_block_choice_solves_the_problem(self):
+        work = Workload.square("qr", 48, 8000)
+        assert best_approach(work).name == "per-block"
+        a = diagonally_dominant_batch(4, 48, dtype=np.float32)
+        b = rhs_batch(4, 48, dtype=np.float32)[:, :, 0]
+        res = per_block_qr_solve(a, b)
+        assert solve_residual(a, res.output, b) < 5e-5
+
+    def test_per_thread_choice_factors_the_problem(self):
+        from repro.kernels.device import per_thread_factor
+
+        work = Workload.square("qr", 6, 64000)
+        assert best_approach(work).name == "per-thread"
+        a = random_batch(64, 6, 6, dtype=np.float32)
+        res = per_thread_factor(a, "qr")
+        q = qr_unpack(QrFactors(res.output, res.extra))
+        r = np.triu(res.output)
+        assert qr_reconstruction_error(a, q, r) < 1e-4
+
+
+class TestCrossDevice:
+    """The same code runs on other device presets with sensible scaling."""
+
+    def test_gtx480_outruns_quadro(self):
+        # Higher clock + one more SM: strictly faster at the same work.
+        a = random_batch(2, 32, 32, dtype=np.float32)
+        q6000 = per_block_qr(a, device=QUADRO_6000).launch.throughput_gflops()
+        gtx = per_block_qr(a, device=GTX480).launch.throughput_gflops()
+        assert gtx > q6000
+
+    def test_calibration_scales_with_device(self):
+        p_q = calibrate(QUADRO_6000)
+        p_g = calibrate(GTX480)
+        assert p_g.global_bandwidth > p_q.global_bandwidth
+        assert p_g.shared_bandwidth > p_q.shared_bandwidth
+
+    def test_per_block_approach_on_other_device(self):
+        pb = PerBlockApproach(device=GTX480)
+        assert pb.gflops(Workload.square("qr", 56, 8000)) > 0
+
+
+class TestNumericalAgreementAcrossPaths:
+    """Batched, per-thread, and per-block paths compute identical factors."""
+
+    def test_three_paths_one_answer(self):
+        from repro.kernels.batched import qr_factor
+        from repro.kernels.device import per_thread_factor
+
+        a = random_batch(4, 16, 16, dtype=np.float32, seed=99)
+        batched = qr_factor(a.copy())
+        thread = per_thread_factor(a.copy(), "qr")
+        block = per_block_qr(a.copy())
+        np.testing.assert_array_equal(batched.packed, thread.output)
+        np.testing.assert_allclose(batched.packed, block.output, atol=2e-4)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out and "fig9" in out
+
+    def test_run_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_rejects_unknown(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_all_with_output_dir(self, tmp_path, capsys, monkeypatch):
+        from repro import __main__ as cli
+
+        # Patch the registry to two cheap experiments for the smoke run.
+        from repro.reporting import experiments as exp
+
+        small = {"table1": exp.EXPERIMENTS["table1"], "fig2": exp.EXPERIMENTS["fig2"]}
+        monkeypatch.setattr(exp, "EXPERIMENTS", small)
+        monkeypatch.setattr(
+            "repro.reporting.experiments.list_experiments", lambda: list(small)
+        )
+        monkeypatch.setattr(cli, "list_experiments", lambda: list(small))
+        assert cli.main(["all", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "fig2.txt").exists()
+
+
+class TestFigure7ConsistentWithEngine:
+    """The Figure-7 analytic 2D-cyclic line and the engine-measured
+    per-block QR solve were built independently; they must agree."""
+
+    @pytest.mark.parametrize("n", [16, 32, 48, 64])
+    def test_analytic_2d_matches_engine_within_15pct(self, n):
+        from repro.layouts import estimate_qr_solve
+
+        params = ModelParameters.paper_table_iv()
+        a = diagonally_dominant_batch(2, n, dtype=np.float32, seed=n)
+        b = rhs_batch(2, n, dtype=np.float32)[:, :, 0]
+        measured = per_block_qr_solve(a, b).launch.throughput_gflops(10000)
+        analytic = estimate_qr_solve(params, "cyclic2d", n).gflops
+        assert measured == pytest.approx(analytic, rel=0.15), n

@@ -1,0 +1,26 @@
+"""Every example script runs to completion from a clean interpreter."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_six_examples_present():
+    assert len(EXAMPLES) >= 6
+    assert any(p.stem == "quickstart" for p in EXAMPLES)

@@ -1,0 +1,130 @@
+"""Blocked (WY) Householder QR and the layout communication volumes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.kernels.batched import (
+    QrFactors,
+    blocked_qr_factor,
+    build_t_factor,
+    orthogonality_error,
+    qr_factor,
+    qr_reconstruction_error,
+    qr_unpack,
+    random_batch,
+)
+
+
+class TestBlockedQr:
+    @pytest.mark.parametrize("dtype", [np.float64, np.complex128])
+    @pytest.mark.parametrize("shape_nb", [(16, 12, 4), (20, 8, 3), (30, 13, 5)])
+    def test_identical_factors_to_unblocked(self, dtype, shape_nb):
+        m, n, nb = shape_nb
+        a = random_batch(3, m, n, dtype=dtype, seed=m + nb)
+        blocked = blocked_qr_factor(a.copy(), panel_width=nb, fast_math=False)
+        ref = qr_factor(a.copy(), fast_math=False)
+        np.testing.assert_allclose(blocked.packed, ref.packed, atol=1e-13)
+        np.testing.assert_allclose(blocked.taus, ref.taus, atol=1e-13)
+
+    def test_degenerate_panel_equals_unblocked(self):
+        a = random_batch(2, 12, 9, dtype=np.float64, seed=1)
+        blocked = blocked_qr_factor(a.copy(), panel_width=9, fast_math=False)
+        ref = qr_factor(a.copy(), fast_math=False)
+        np.testing.assert_allclose(blocked.packed, ref.packed, atol=1e-14)
+
+    def test_q_from_blocked_factors_orthonormal(self):
+        a = random_batch(2, 18, 10, dtype=np.float64, seed=2)
+        blocked = blocked_qr_factor(a.copy(), panel_width=4, fast_math=False)
+        q = qr_unpack(QrFactors(blocked.packed, blocked.taus))
+        assert orthogonality_error(q) < 1e-12
+        assert qr_reconstruction_error(a, q, blocked.r()) < 1e-12
+
+    def test_t_factor_count(self):
+        a = random_batch(1, 16, 10, dtype=np.float64)
+        blocked = blocked_qr_factor(a, panel_width=4)
+        assert len(blocked.t_factors) == 3  # panels of 4, 4, 2
+
+    def test_t_factor_identity(self):
+        # (I - V T V^H) must equal the product of the panel's reflectors.
+        a = random_batch(1, 10, 4, dtype=np.float64, seed=3)
+        f = qr_factor(a.copy(), fast_math=False)
+        v = np.zeros((1, 10, 4))
+        for k in range(4):
+            v[:, k, k] = 1
+            v[:, k + 1 :, k] = f.packed[:, k + 1 :, k]
+        t = build_t_factor(v, f.taus)
+        q_block = np.eye(10)[None] - v @ t @ np.swapaxes(v, 1, 2)
+        q_ref = np.eye(10)[None]
+        for k in range(4):
+            vk = v[:, :, k][:, :, None]
+            h = np.eye(10)[None] - f.taus[:, k, None, None] * (vk @ np.swapaxes(vk, 1, 2))
+            q_ref = q_ref @ h
+        np.testing.assert_allclose(q_block, q_ref, atol=1e-13)
+
+    def test_invalid_panel_width(self):
+        with pytest.raises(ShapeError):
+            blocked_qr_factor(random_batch(1, 8, 4, dtype=np.float64), panel_width=0)
+
+    @given(
+        nb=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_panel_width_same_factors(self, nb, seed):
+        a = random_batch(2, 14, 8, dtype=np.float64, seed=seed)
+        blocked = blocked_qr_factor(a.copy(), panel_width=nb, fast_math=False)
+        ref = qr_factor(a.copy(), fast_math=False)
+        np.testing.assert_allclose(blocked.packed, ref.packed, atol=1e-12)
+
+
+class TestCommunicationVolume:
+    def test_column_cyclic_moves_least_data(self):
+        from repro.layouts import compare_volumes
+
+        for n in (16, 56, 96):
+            v = compare_volumes(n)
+            assert (
+                v["column_cyclic"].total_words
+                < v["cyclic2d"].total_words
+                < v["row_cyclic"].total_words
+            )
+
+    def test_volume_does_not_decide_performance(self):
+        # The classic tension: 1D column communicates least but loses on
+        # time (serialized column work) -- volume is necessary context,
+        # not the decision metric.
+        from repro.layouts import compare_layouts, compare_volumes
+        from repro.model import ModelParameters
+
+        params = ModelParameters.paper_table_iv()
+        n = 56
+        volumes = compare_volumes(n)
+        times = compare_layouts(params, n)
+        assert volumes["column_cyclic"].total_words < volumes["cyclic2d"].total_words
+        assert times["cyclic2d"].gflops > times["column_cyclic"].gflops
+
+    def test_row_cyclic_dominated_by_reductions(self):
+        from repro.layouts import qr_communication_volume
+
+        v = qr_communication_volume("row_cyclic", 56)
+        assert v.reduction_words > v.broadcast_words
+
+    def test_words_per_flop_shrinks_with_n(self):
+        from repro.layouts import qr_communication_volume
+
+        a = qr_communication_volume("cyclic2d", 16).words_per_flop
+        b = qr_communication_volume("cyclic2d", 96).words_per_flop
+        assert b < a
+
+    def test_validation(self):
+        from repro.layouts import qr_communication_volume
+
+        with pytest.raises(ValueError):
+            qr_communication_volume("cyclic2d", 1)
+        with pytest.raises(ValueError):
+            qr_communication_volume("cyclic2d", 16, threads=48)
+        with pytest.raises(ValueError):
+            qr_communication_volume("hilbert", 16)

@@ -1,0 +1,100 @@
+"""Numerical diagnostics: growth factors and condition estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.kernels.batched import (
+    condition_estimate,
+    diagonally_dominant_batch,
+    lu_factor,
+    lu_growth_factor,
+    qr_factor,
+    random_batch,
+)
+
+
+def conditioned(kappa, m=12, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    sv = np.logspace(0, -np.log10(kappa), n)
+    return (u * sv) @ v.T
+
+
+class TestGrowthFactor:
+    def test_benign_inputs_near_one(self):
+        a = diagonally_dominant_batch(4, 10, dtype=np.float64)
+        growth = lu_growth_factor(a, lu_factor(a, fast_math=False).lu)
+        # Diagonally dominant: unpivoted growth provably <= 2.
+        assert (growth <= 2.0).all()
+
+    def test_tiny_pivot_explodes(self):
+        a = random_batch(3, 8, 8, dtype=np.float64, seed=2)
+        a[:, 0, 0] = 1e-12
+        growth = lu_growth_factor(a, lu_factor(a, fast_math=False).lu)
+        assert (growth > 1e6).all()
+
+    def test_singular_reports_inf(self):
+        a = diagonally_dominant_batch(2, 4, dtype=np.float64)
+        a[1] = 0
+        lu = lu_factor(a, fast_math=False).lu
+        growth = lu_growth_factor(a, lu)
+        assert np.isfinite(growth[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            lu_growth_factor(np.zeros((2, 4, 4)), np.zeros((2, 5, 5)))
+
+    def test_2d_input_accepted(self):
+        a = diagonally_dominant_batch(1, 6, dtype=np.float64)[0]
+        lu = lu_factor(a[None], fast_math=False).lu[0]
+        assert lu_growth_factor(a, lu).shape == (1,)
+
+
+class TestConditionEstimate:
+    @pytest.mark.parametrize("kappa", [1e1, 1e4, 1e7])
+    def test_matches_numpy_cond_within_factor(self, kappa):
+        a = conditioned(kappa)[None]
+        r = qr_factor(a.copy(), fast_math=False).r()
+        est = condition_estimate(r)[0]
+        ref = np.linalg.cond(a[0])
+        assert ref / 3 < est < 3 * ref
+
+    def test_identity_is_perfectly_conditioned(self):
+        r = np.broadcast_to(np.eye(8), (3, 8, 8)).copy()
+        est = condition_estimate(r)
+        np.testing.assert_allclose(est, 1.0, rtol=1e-6)
+
+    def test_complex_factor(self):
+        a = random_batch(2, 12, 6, dtype=np.complex128, seed=3)
+        r = qr_factor(a.copy(), fast_math=False).r()
+        est = condition_estimate(r)
+        ref = np.array([np.linalg.cond(a[i]) for i in range(2)])
+        assert (est > ref / 5).all() and (est < 5 * ref).all()
+
+    def test_batch_of_mixed_conditions(self):
+        a = np.stack([conditioned(1e2, seed=1), conditioned(1e6, seed=2)])
+        r = qr_factor(a.copy(), fast_math=False).r()
+        est = condition_estimate(r)
+        assert est[1] > 100 * est[0]
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            condition_estimate(np.zeros((2, 4, 3)))
+        with pytest.raises(ValueError):
+            condition_estimate(np.eye(4)[None], iterations=0)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_estimate_never_exceeds_truth_wildly(self, seed):
+        a = random_batch(1, 10, 6, dtype=np.float64, seed=seed)
+        r = qr_factor(a.copy(), fast_math=False).r()
+        est = condition_estimate(r)[0]
+        ref = np.linalg.cond(a[0])
+        # Power iteration underestimates cond; it must never overshoot
+        # beyond iteration noise and never fall absurdly short.
+        assert est <= ref * 1.05
+        assert est >= ref / 10

@@ -1,0 +1,101 @@
+"""Batched Jacobi Hermitian eigensolver (the MRI extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.kernels.batched import hermitian_batch, jacobi_eigh
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.complex64,
+                                       np.complex128])
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_eigenvalues_match_lapack(self, dtype, n):
+        a = hermitian_batch(4, n, dtype=dtype, seed=n)
+        res = jacobi_eigh(a.copy())
+        ref = np.stack([np.linalg.eigvalsh(a[i]) for i in range(4)])
+        tol = 2e-5 if np.dtype(dtype).itemsize <= 8 else 1e-12
+        scale = max(1.0, np.abs(ref).max())
+        assert np.abs(res.eigenvalues - ref).max() < tol * scale
+
+    def test_eigenvectors_satisfy_definition(self):
+        a = hermitian_batch(5, 8, dtype=np.complex128, seed=1)
+        res = jacobi_eigh(a.copy())
+        av = a @ res.eigenvectors
+        vw = res.eigenvectors * res.eigenvalues[:, None, :]
+        assert np.abs(av - vw).max() < 1e-12
+
+    def test_eigenvectors_orthonormal(self):
+        a = hermitian_batch(5, 8, dtype=np.complex128, seed=2)
+        v = jacobi_eigh(a.copy()).eigenvectors
+        gram = np.swapaxes(v.conj(), 1, 2) @ v
+        np.testing.assert_allclose(gram, np.broadcast_to(np.eye(8), gram.shape), atol=1e-12)
+
+    def test_eigenvalues_ascending(self):
+        a = hermitian_batch(4, 12, dtype=np.float64, seed=3)
+        w = jacobi_eigh(a.copy()).eigenvalues
+        assert (np.diff(w, axis=1) >= 0).all()
+
+    def test_diagonal_matrix_is_fixed_point(self):
+        d = np.zeros((2, 5, 5))
+        d[:, np.arange(5), np.arange(5)] = [[3, 1, 4, 1, 5], [2, 7, 1, 8, 2]]
+        res = jacobi_eigh(d.copy())
+        assert res.sweeps_used == 1
+        np.testing.assert_allclose(res.eigenvalues, np.sort(d.diagonal(0, 1, 2)))
+
+    def test_trace_preserved(self):
+        a = hermitian_batch(4, 10, dtype=np.float64, seed=4)
+        w = jacobi_eigh(a.copy()).eigenvalues
+        np.testing.assert_allclose(
+            w.sum(axis=1), np.trace(a, axis1=1, axis2=2).real, rtol=1e-10
+        )
+
+    def test_convergence_reported(self):
+        a = hermitian_batch(2, 8, dtype=np.float64, seed=5)
+        res = jacobi_eigh(a.copy())
+        assert 1 <= res.sweeps_used <= 16
+        assert res.off_diagonal_norm < 1e-8
+
+
+class TestValidation:
+    def test_non_hermitian_rejected(self):
+        a = np.arange(18, dtype=np.float64).reshape(2, 3, 3)
+        with pytest.raises(ShapeError):
+            jacobi_eigh(a)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            jacobi_eigh(np.zeros((2, 3, 4)))
+
+    def test_zero_sweeps_rejected(self):
+        a = hermitian_batch(1, 4, dtype=np.float64)
+        with pytest.raises(ValueError):
+            jacobi_eigh(a, max_sweeps=0)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_eigenvalue_property(self, n, seed):
+        a = hermitian_batch(2, n, dtype=np.float64, seed=seed)
+        res = jacobi_eigh(a.copy())
+        ref = np.stack([np.linalg.eigvalsh(a[i]) for i in range(2)])
+        scale = max(1.0, np.abs(ref).max())
+        assert np.abs(res.eigenvalues - ref).max() < 1e-10 * scale
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_similarity_preserves_frobenius_norm(self, seed):
+        a = hermitian_batch(2, 6, dtype=np.complex128, seed=seed)
+        w = jacobi_eigh(a.copy()).eigenvalues
+        np.testing.assert_allclose(
+            np.sqrt((w**2).sum(axis=1)),
+            np.linalg.norm(a, axis=(1, 2)),
+            rtol=1e-10,
+        )

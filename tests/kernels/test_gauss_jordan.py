@@ -1,0 +1,135 @@
+"""Batched Gauss-Jordan solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, SingularMatrixError
+from repro.kernels.batched import (
+    diagonally_dominant_batch,
+    gauss_jordan_solve,
+    rhs_batch,
+    solve_residual,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 56])
+    def test_solves_diagonally_dominant(self, n):
+        a = diagonally_dominant_batch(8, n, dtype=np.float32, seed=n)
+        b = rhs_batch(8, n, dtype=np.float32)
+        res = gauss_jordan_solve(a, b)
+        assert res.all_solved
+        assert solve_residual(a, res.x, b) < 5e-5
+
+    def test_matches_numpy_solve(self):
+        a = diagonally_dominant_batch(4, 12, dtype=np.float64)
+        b = rhs_batch(4, 12, dtype=np.float64)
+        res = gauss_jordan_solve(a, b, fast_math=False)
+        ref = np.stack([np.linalg.solve(a[i], b[i]) for i in range(4)])
+        np.testing.assert_allclose(res.x, ref, rtol=1e-9, atol=1e-9)
+
+    def test_multiple_rhs(self):
+        a = diagonally_dominant_batch(4, 8, dtype=np.float64)
+        b = rhs_batch(4, 8, nrhs=3, dtype=np.float64)
+        res = gauss_jordan_solve(a, b, fast_math=False)
+        assert res.x.shape == (4, 8, 3)
+        assert solve_residual(a, res.x, b) < 1e-9
+
+    def test_complex_systems(self):
+        a = diagonally_dominant_batch(4, 10, dtype=np.complex64)
+        b = rhs_batch(4, 10, dtype=np.complex64)
+        res = gauss_jordan_solve(a, b)
+        assert solve_residual(a, res.x, b) < 5e-5
+
+    def test_identity_returns_rhs(self):
+        eye = np.tile(np.eye(6, dtype=np.float32), (3, 1, 1))
+        b = rhs_batch(3, 6, dtype=np.float32)
+        res = gauss_jordan_solve(eye, b)
+        np.testing.assert_allclose(res.x, b, rtol=1e-6)
+
+    def test_input_not_mutated(self):
+        a = diagonally_dominant_batch(2, 5, dtype=np.float32)
+        b = rhs_batch(2, 5, dtype=np.float32)
+        a0, b0 = a.copy(), b.copy()
+        gauss_jordan_solve(a, b)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+
+
+class TestSingularHandling:
+    def _singular_batch(self):
+        a = diagonally_dominant_batch(3, 4, dtype=np.float32)
+        a[1] = 0.0  # problem 1 is singular
+        b = rhs_batch(3, 4, dtype=np.float32)
+        return a, b
+
+    def test_flags_singular_problem(self):
+        a, b = self._singular_batch()
+        res = gauss_jordan_solve(a, b)
+        assert res.not_solved.tolist() == [False, True, False]
+        assert not res.all_solved
+
+    def test_singular_solution_is_nan(self):
+        a, b = self._singular_batch()
+        res = gauss_jordan_solve(a, b)
+        assert np.isnan(res.x[1]).all()
+
+    def test_healthy_problems_unaffected(self):
+        a, b = self._singular_batch()
+        res = gauss_jordan_solve(a, b)
+        healthy = [0, 2]
+        assert solve_residual(a[healthy], res.x[healthy], b[healthy]) < 5e-5
+
+    def test_raise_mode(self):
+        a, b = self._singular_batch()
+        with pytest.raises(SingularMatrixError):
+            gauss_jordan_solve(a, b, on_singular="raise")
+
+    def test_no_pivoting_fails_where_lapack_succeeds(self):
+        # The documented limitation: a permutation matrix is perfectly
+        # conditioned but has a zero pivot without pivoting.
+        a = np.array([[[0.0, 1.0], [1.0, 0.0]]], dtype=np.float32)
+        b = np.array([[1.0, 2.0]], dtype=np.float32)
+        res = gauss_jordan_solve(a, b)
+        assert res.not_solved[0]
+
+
+class TestValidation:
+    def test_rhs_shape_mismatch(self):
+        a = diagonally_dominant_batch(2, 4, dtype=np.float32)
+        with pytest.raises(ShapeError):
+            gauss_jordan_solve(a, np.zeros((2, 5), dtype=np.float32))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            gauss_jordan_solve(
+                np.zeros((2, 3, 4), dtype=np.float32),
+                np.zeros((2, 3), dtype=np.float32),
+            )
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        batch=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_residual_small_for_dominant_systems(self, n, batch, seed):
+        a = diagonally_dominant_batch(batch, n, dtype=np.float64, seed=seed)
+        b = rhs_batch(batch, n, dtype=np.float64, seed=seed + 1)
+        res = gauss_jordan_solve(a, b, fast_math=False)
+        assert res.all_solved
+        assert solve_residual(a, res.x, b) < 1e-8
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_fast_math_close_to_ieee(self, seed):
+        a = diagonally_dominant_batch(4, 8, dtype=np.float32, seed=seed)
+        b = rhs_batch(4, 8, dtype=np.float32, seed=seed + 1)
+        fast = gauss_jordan_solve(a, b, fast_math=True).x
+        ieee = gauss_jordan_solve(a, b, fast_math=False).x
+        denom = np.maximum(np.abs(ieee), 1e-3)
+        assert (np.abs(fast - ieee) / denom).max() < 1e-4

@@ -1,0 +1,143 @@
+"""Batched LU (unpivoted + the pivoting extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SingularMatrixError
+from repro.kernels.batched import (
+    diagonally_dominant_batch,
+    lu_factor,
+    lu_factor_pivot,
+    lu_reconstruction_error,
+    lu_solve,
+    lu_solve_pivot,
+    random_batch,
+    rhs_batch,
+    solve_residual,
+    triangular_error,
+)
+
+
+class TestFactorization:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 56])
+    def test_reconstruction(self, n):
+        a = diagonally_dominant_batch(6, n, dtype=np.float32, seed=n)
+        res = lu_factor(a)
+        assert res.all_solved
+        assert lu_reconstruction_error(a, res.lu) < 5e-5
+
+    def test_factors_are_triangular(self):
+        a = diagonally_dominant_batch(4, 10, dtype=np.float32)
+        res = lu_factor(a)
+        assert triangular_error(res.upper()) == 0
+        assert triangular_error(res.lower(), lower=True) == 0
+
+    def test_unit_diagonal_in_lower(self):
+        a = diagonally_dominant_batch(4, 10, dtype=np.float32)
+        low = lu_factor(a).lower()
+        idx = np.arange(10)
+        np.testing.assert_array_equal(low[:, idx, idx], 1.0)
+
+    def test_complex_reconstruction(self):
+        a = diagonally_dominant_batch(4, 12, dtype=np.complex64)
+        res = lu_factor(a)
+        assert lu_reconstruction_error(a, res.lu) < 5e-5
+
+    def test_double_precision(self):
+        a = diagonally_dominant_batch(4, 16, dtype=np.float64)
+        assert lu_reconstruction_error(a, lu_factor(a, fast_math=False).lu) < 1e-13
+
+    def test_flags_zero_pivot(self):
+        a = diagonally_dominant_batch(3, 4, dtype=np.float32)
+        a[2, 0, 0] = 0.0
+        res = lu_factor(a)
+        assert res.not_solved.tolist() == [False, False, True]
+
+    def test_raise_mode(self):
+        a = diagonally_dominant_batch(1, 4, dtype=np.float32)
+        a[0, 0, 0] = 0.0
+        with pytest.raises(SingularMatrixError):
+            lu_factor(a, on_singular="raise")
+
+    def test_1x1_matrix(self):
+        a = np.array([[[4.0]]], dtype=np.float32)
+        res = lu_factor(a)
+        assert res.lu[0, 0, 0] == 4.0
+        assert res.all_solved
+
+
+class TestSolve:
+    def test_solve_matches_numpy(self):
+        a = diagonally_dominant_batch(5, 12, dtype=np.float64)
+        b = rhs_batch(5, 12, dtype=np.float64)
+        x = lu_solve(lu_factor(a, fast_math=False), b, fast_math=False)
+        ref = np.stack([np.linalg.solve(a[i], b[i]) for i in range(5)])
+        np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-10)
+
+    def test_solve_multi_rhs(self):
+        a = diagonally_dominant_batch(4, 8, dtype=np.float32)
+        b = rhs_batch(4, 8, nrhs=3, dtype=np.float32)
+        x = lu_solve(lu_factor(a), b)
+        assert solve_residual(a, x, b) < 5e-5
+
+
+class TestPivoting:
+    def test_handles_zero_leading_pivot(self):
+        # Unpivoted LU fails here; pivoted must succeed.
+        a = np.array([[[0.0, 1.0], [1.0, 1.0]]], dtype=np.float64)
+        b = np.array([[2.0, 3.0]], dtype=np.float64)
+        assert lu_factor(a.copy()).not_solved[0]
+        res = lu_factor_pivot(a.copy())
+        assert not res.not_solved[0]
+        x = lu_solve_pivot(res, b)
+        assert solve_residual(a, x, b) < 1e-12
+
+    def test_general_matrices(self):
+        a = random_batch(6, 16, 16, dtype=np.float64, seed=11)
+        b = rhs_batch(6, 16, dtype=np.float64)
+        x = lu_solve_pivot(lu_factor_pivot(a, fast_math=False), b, fast_math=False)
+        assert solve_residual(a, x, b) < 1e-10
+
+    def test_permutation_is_valid(self):
+        a = random_batch(4, 8, 8, dtype=np.float32, seed=3)
+        res = lu_factor_pivot(a)
+        for perm in res.perm:
+            assert sorted(perm.tolist()) == list(range(8))
+
+    def test_pivoted_more_stable_than_unpivoted(self):
+        # Near-zero pivots blow up the unpivoted growth factor.
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((8, 12, 12))
+        a[:, 0, 0] = 1e-12
+        b = rng.standard_normal((8, 12))
+        x_piv = lu_solve_pivot(
+            lu_factor_pivot(a.copy(), fast_math=False), b, fast_math=False
+        )
+        x_raw = lu_solve(lu_factor(a.copy(), fast_math=False), b, fast_math=False)
+        assert solve_residual(a, x_piv, b) < 1e-8
+        assert solve_residual(a, x_piv, b) < solve_residual(a, x_raw, b)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_property(self, n, seed):
+        a = diagonally_dominant_batch(3, n, dtype=np.float64, seed=seed)
+        res = lu_factor(a, fast_math=False)
+        assert lu_reconstruction_error(a, res.lu) < 1e-10
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_pivoted_equals_unpivoted_on_dominant(self, seed):
+        # Diagonal dominance makes the diagonal the natural pivot, so
+        # both variants must solve equally well.
+        a = diagonally_dominant_batch(3, 8, dtype=np.float64, seed=seed)
+        b = rhs_batch(3, 8, dtype=np.float64, seed=seed)
+        x1 = lu_solve(lu_factor(a, fast_math=False), b, fast_math=False)
+        x2 = lu_solve_pivot(lu_factor_pivot(a, fast_math=False), b, fast_math=False)
+        np.testing.assert_allclose(x1, x2, rtol=1e-8, atol=1e-10)

@@ -1,0 +1,197 @@
+"""Batched Householder QR and least squares."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.kernels.batched import (
+    apply_qt,
+    diagonally_dominant_batch,
+    least_squares,
+    orthogonality_error,
+    qr_factor,
+    qr_reconstruction_error,
+    qr_solve,
+    qr_unpack,
+    random_batch,
+    rhs_batch,
+    solve_residual,
+    triangular_error,
+)
+
+DTYPES = [np.float32, np.float64, np.complex64, np.complex128]
+
+
+class TestFactorization:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 8), (56, 56), (80, 16), (240, 66)])
+    def test_reconstruction_and_orthogonality(self, dtype, shape):
+        m, n = shape
+        a = random_batch(3, m, n, dtype=dtype, seed=m + n)
+        f = qr_factor(a, fast_math=False)
+        q = qr_unpack(f)
+        tol = 1e-5 if np.dtype(dtype).itemsize <= 8 else 1e-13
+        assert qr_reconstruction_error(a, q, f.r()) < tol
+        assert orthogonality_error(q) < tol * 50
+
+    def test_r_is_upper_triangular(self):
+        f = qr_factor(random_batch(4, 12, 8, dtype=np.float32))
+        assert triangular_error(f.r()) == 0
+
+    def test_r_diagonal_real_for_complex(self):
+        # The LAPACK convention makes beta real even for complex input.
+        f = qr_factor(random_batch(3, 10, 6, dtype=np.complex64))
+        diag = f.r()[:, range(6), range(6)]
+        assert np.abs(diag.imag).max() == 0
+
+    def test_sign_convention_negates_positive_leading_entry(self):
+        # beta = -sign(Re(alpha)) * norm: a positive column flips.
+        a = np.abs(random_batch(2, 6, 3, dtype=np.float32))
+        f = qr_factor(a)
+        assert (f.r()[:, 0, 0] < 0).all()
+
+    def test_fast_math_accuracy_cost_is_bounded(self):
+        a = random_batch(8, 32, 32, dtype=np.float32, seed=1)
+        fast = qr_factor(a, fast_math=True)
+        ieee = qr_factor(a, fast_math=False)
+        rel = np.abs(fast.r() - ieee.r()).max() / np.abs(ieee.r()).max()
+        assert 0 < rel < 1e-4  # differs, but only in the bottom bits
+
+    def test_zero_column_handled(self):
+        a = random_batch(2, 8, 4, dtype=np.float32)
+        a[:, :, 1] = 0.0
+        f = qr_factor(a)
+        q = qr_unpack(f)
+        assert np.isfinite(f.packed).all()
+        assert qr_reconstruction_error(a, q, f.r()) < 1e-5
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            qr_factor(random_batch(2, 4, 8, dtype=np.float32))
+
+    def test_matches_numpy_qr_magnitudes(self):
+        # Signs may differ by convention; |R| must agree.
+        a = random_batch(3, 10, 6, dtype=np.float64, seed=2)
+        f = qr_factor(a, fast_math=False)
+        for i in range(3):
+            _, r_np = np.linalg.qr(a[i])
+            np.testing.assert_allclose(np.abs(f.r()[i][:6]), np.abs(r_np), atol=1e-10)
+
+
+class TestApplyQt:
+    def test_qt_b_matches_explicit(self):
+        a = random_batch(3, 12, 6, dtype=np.float64, seed=4)
+        b = random_batch(3, 12, 2, dtype=np.float64, seed=5)
+        f = qr_factor(a, fast_math=False)
+        explicit = np.swapaxes(qr_unpack(f).conj(), 1, 2) @ b
+        np.testing.assert_allclose(apply_qt(f, b)[:, :6], explicit, atol=1e-10)
+
+    def test_preserves_norm(self):
+        a = random_batch(3, 12, 6, dtype=np.float64, seed=4)
+        b = random_batch(3, 12, 1, dtype=np.float64, seed=5)
+        f = qr_factor(a, fast_math=False)
+        qtb = apply_qt(f, b)
+        np.testing.assert_allclose(
+            np.linalg.norm(qtb, axis=(1, 2)),
+            np.linalg.norm(b, axis=(1, 2)),
+            rtol=1e-10,
+        )
+
+    def test_vector_rhs_squeezed(self):
+        a = random_batch(2, 8, 4, dtype=np.float32)
+        b = random_batch(2, 8, 1, dtype=np.float32)[:, :, 0]
+        assert apply_qt(qr_factor(a), b).shape == (2, 8)
+
+
+class TestSolve:
+    def test_square_solve(self):
+        a = diagonally_dominant_batch(5, 16, dtype=np.float32)
+        b = rhs_batch(5, 16, dtype=np.float32)
+        x = qr_solve(a, b)
+        assert solve_residual(a, x, b) < 5e-5
+
+    def test_solve_is_stable_without_dominance(self):
+        # Unlike unpivoted LU/GJ, QR solves arbitrary nonsingular systems.
+        a = random_batch(5, 16, 16, dtype=np.float64, seed=8)
+        b = rhs_batch(5, 16, dtype=np.float64)
+        x = qr_solve(a, b, fast_math=False)
+        assert solve_residual(a, x, b) < 1e-10
+
+
+class TestLeastSquares:
+    def test_matches_numpy_lstsq(self):
+        a = random_batch(4, 24, 8, dtype=np.float64, seed=6)
+        b = random_batch(4, 24, 1, dtype=np.float64, seed=7)
+        res = least_squares(a, b, fast_math=False)
+        ref = np.stack([np.linalg.lstsq(a[i], b[i], rcond=None)[0] for i in range(4)])
+        np.testing.assert_allclose(res.x, ref, atol=1e-10)
+
+    def test_residual_norms_reported(self):
+        a = random_batch(4, 24, 8, dtype=np.float64, seed=6)
+        b = random_batch(4, 24, 1, dtype=np.float64, seed=7)
+        res = least_squares(a, b, fast_math=False)
+        # Explicit (batch, m, nrhs) input keeps a per-RHS norm axis.
+        assert res.residual_norms.shape == (4, 1)
+        ref = np.linalg.norm(a @ res.x - b, axis=1)
+        np.testing.assert_allclose(res.residual_norms, ref, rtol=1e-8)
+
+    def test_exact_fit_has_zero_residual(self):
+        a = random_batch(3, 20, 5, dtype=np.float64, seed=9)
+        x_true = random_batch(3, 5, 1, dtype=np.float64, seed=10)
+        b = a @ x_true
+        res = least_squares(a, b, fast_math=False)
+        np.testing.assert_allclose(res.x, x_true, atol=1e-10)
+        assert res.residual_norms.max() < 1e-10
+
+    def test_square_case_residual_zero_shape(self):
+        a = diagonally_dominant_batch(2, 6, dtype=np.float64)
+        b = rhs_batch(2, 6, dtype=np.float64)[:, :, 0]  # vector RHS
+        res = least_squares(a, b)
+        assert res.residual_norms.shape == (2,)
+        assert (res.residual_norms == 0).all()
+
+    def test_rhs_shape_mismatch(self):
+        a = random_batch(2, 10, 4, dtype=np.float32)
+        with pytest.raises(ShapeError):
+            least_squares(a, np.zeros((2, 9), dtype=np.float32))
+
+
+class TestProperties:
+    @given(
+        m=st.integers(min_value=2, max_value=24),
+        n=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_qr_invariants(self, m, n, seed):
+        if m < n:
+            m, n = n, m
+        a = random_batch(2, m, n, dtype=np.float64, seed=seed)
+        f = qr_factor(a, fast_math=False)
+        q = qr_unpack(f)
+        assert qr_reconstruction_error(a, q, f.r()) < 1e-10
+        assert orthogonality_error(q) < 1e-10
+        assert triangular_error(f.r()) == 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_complex_qr_invariants(self, seed):
+        a = random_batch(2, 12, 7, dtype=np.complex128, seed=seed)
+        f = qr_factor(a, fast_math=False)
+        q = qr_unpack(f)
+        assert qr_reconstruction_error(a, q, f.r()) < 1e-10
+        assert orthogonality_error(q) < 1e-10
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_r_norm_equals_a_norm(self, seed):
+        # Orthogonal transforms preserve Frobenius norm columnwise.
+        a = random_batch(2, 10, 5, dtype=np.float64, seed=seed)
+        f = qr_factor(a, fast_math=False)
+        np.testing.assert_allclose(
+            np.linalg.norm(f.r(), axis=1),
+            np.linalg.norm(a, axis=1),
+            rtol=1e-9,
+        )

@@ -1,0 +1,121 @@
+"""Unrolled per-thread programs: the compile-time story, executable."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import QUADRO_6000
+from repro.kernels.batched import (
+    diagonally_dominant_batch,
+    lu_factor,
+    qr_factor,
+    random_batch,
+)
+from repro.kernels.device import (
+    ThreadInterpreter,
+    build_lu_program,
+    build_qr_program,
+)
+from repro.model import lu_flops, qr_flops
+
+
+class TestProgramStructure:
+    def test_straight_line_register_indices_are_constants(self):
+        prog = build_lu_program(4)
+        for ins in prog.instructions:
+            for reg in ins.registers():
+                assert 0 <= reg < prog.num_registers
+
+    def test_7x7_qr_fits_the_register_file(self):
+        # The paper's threshold: 7x7 is the largest QR a thread can hold.
+        prog = build_qr_program(7)
+        assert prog.num_registers <= QUADRO_6000.max_registers_per_thread
+        assert not prog.spills_on(QUADRO_6000)
+
+    def test_8x8_qr_spills(self):
+        # "For dimensions past 8 the problems no longer fit" (Figure 4).
+        assert build_qr_program(8).spills_on(QUADRO_6000)
+
+    def test_8x8_lu_spills(self):
+        assert build_lu_program(8).spills_on(QUADRO_6000)
+
+    def test_instruction_count_grows_cubically(self):
+        lengths = {n: build_qr_program(n).length for n in (4, 8, 16)}
+        # Doubling n should multiply arithmetic roughly 8x (asymptotic).
+        assert lengths[16] / lengths[8] > 5
+        assert lengths[8] / lengths[4] > 4
+
+    def test_static_flops_close_to_formula(self):
+        # The asymptotic formulas bracket the exact static counts: LU's
+        # exact sum sits slightly below 2/3 n^3, QR's trace adds the
+        # scale-factor overhead on top of 2mn^2 - 2/3 n^3.
+        for n in (5, 7, 10):
+            lu_count = build_lu_program(n).flop_count
+            qr_count = build_qr_program(n).flop_count
+            assert 0.7 * lu_flops(n) <= lu_count <= 1.1 * lu_flops(n)
+            assert qr_flops(n, n) <= qr_count <= 1.4 * qr_flops(n, n)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            build_lu_program(0)
+        with pytest.raises(ValueError):
+            build_qr_program(-1)
+
+
+class TestInterpreter:
+    def test_lu_matches_batched_bitwise(self):
+        a = diagonally_dominant_batch(8, 6, dtype=np.float32, seed=1)
+        out = ThreadInterpreter(build_lu_program(6)).run(a)
+        ref = lu_factor(a.copy())
+        np.testing.assert_array_equal(out, ref.lu)
+
+    def test_qr_matches_batched_to_rounding(self):
+        a = random_batch(8, 6, 6, dtype=np.float32, seed=2)
+        out = ThreadInterpreter(build_qr_program(6)).run(a)
+        ref = qr_factor(a.copy())
+        np.testing.assert_allclose(out, ref.packed, atol=2e-6)
+
+    def test_ieee_mode_double_precision(self):
+        a = random_batch(4, 5, 5, dtype=np.float64, seed=3)
+        out = ThreadInterpreter(build_qr_program(5), fast_math=False).run(a)
+        ref = qr_factor(a.copy(), fast_math=False)
+        np.testing.assert_allclose(out, ref.packed, atol=1e-13)
+
+    def test_single_matrix_accepted(self):
+        a = diagonally_dominant_batch(1, 4, dtype=np.float32)[0]
+        out = ThreadInterpreter(build_lu_program(4)).run(a)
+        assert out.shape == (1, 4, 4)
+
+    def test_wrong_shape_rejected(self):
+        interp = ThreadInterpreter(build_lu_program(4))
+        with pytest.raises(ValueError):
+            interp.run(np.zeros((2, 3, 3), dtype=np.float32))
+
+    def test_instruction_counter(self):
+        prog = build_lu_program(4)
+        interp = ThreadInterpreter(prog)
+        interp.run(diagonally_dominant_batch(2, 4, dtype=np.float32))
+        assert interp.instructions_executed == prog.length
+
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lu_equivalence_property(self, n, seed):
+        a = diagonally_dominant_batch(2, n, dtype=np.float64, seed=seed)
+        out = ThreadInterpreter(build_lu_program(n), fast_math=False).run(a)
+        ref = lu_factor(a.copy(), fast_math=False)
+        np.testing.assert_allclose(out, ref.lu, atol=1e-12)
+
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_qr_equivalence_property(self, n, seed):
+        a = random_batch(2, n, n, dtype=np.float64, seed=seed)
+        out = ThreadInterpreter(build_qr_program(n), fast_math=False).run(a)
+        ref = qr_factor(a.copy(), fast_math=False)
+        np.testing.assert_allclose(out, ref.packed, atol=1e-10)

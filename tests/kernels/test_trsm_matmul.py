@@ -1,0 +1,136 @@
+"""Triangular solves and batched matmul."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.kernels.batched import (
+    batched_matmul,
+    random_batch,
+    solve_lower,
+    solve_lower_unit,
+    solve_upper,
+)
+
+
+def upper_batch(batch, n, dtype=np.float64, seed=0):
+    a = np.triu(random_batch(batch, n, n, dtype=dtype, seed=seed))
+    idx = np.arange(n)
+    a[:, idx, idx] += np.sign(a[:, idx, idx].real) * 2 + (a[:, idx, idx] == 0) * 2
+    return a
+
+
+class TestTriangularSolves:
+    def test_upper_matches_numpy(self):
+        r = upper_batch(3, 8)
+        b = random_batch(3, 8, 2, dtype=np.float64, seed=1)
+        x = solve_upper(r, b, fast_math=False)
+        ref = np.stack([np.linalg.solve(r[i], b[i]) for i in range(3)])
+        np.testing.assert_allclose(x, ref, atol=1e-10)
+
+    def test_lower_matches_numpy(self):
+        l = np.swapaxes(upper_batch(3, 8, seed=2), 1, 2)
+        b = random_batch(3, 8, 2, dtype=np.float64, seed=3)
+        x = solve_lower(l, b, fast_math=False)
+        ref = np.stack([np.linalg.solve(l[i], b[i]) for i in range(3)])
+        np.testing.assert_allclose(x, ref, atol=1e-10)
+
+    def test_lower_unit_ignores_diagonal(self):
+        l = np.swapaxes(upper_batch(2, 6, seed=4), 1, 2)
+        unit = l.copy()
+        idx = np.arange(6)
+        unit[:, idx, idx] = 1
+        b = random_batch(2, 6, 1, dtype=np.float64, seed=5)
+        # solve_lower_unit must behave as if the diagonal were 1,
+        # regardless of what is stored there.
+        garbage = l.copy()
+        garbage[:, idx, idx] = 123.0
+        np.testing.assert_allclose(
+            solve_lower_unit(garbage, b), solve_lower(unit, b, fast_math=False),
+            atol=1e-10,
+        )
+
+    def test_vector_rhs_squeezed(self):
+        r = upper_batch(2, 4)
+        b = random_batch(2, 4, 1, dtype=np.float64)[:, :, 0]
+        assert solve_upper(r, b, fast_math=False).shape == (2, 4)
+
+    def test_complex_solves(self):
+        r = upper_batch(2, 6, dtype=np.complex128, seed=6)
+        b = random_batch(2, 6, 1, dtype=np.complex128, seed=7)
+        x = solve_upper(r, b, fast_math=False)
+        np.testing.assert_allclose(r @ x, b, atol=1e-10)
+
+    def test_single_matrix_promoted(self):
+        r = upper_batch(1, 4)[0]
+        b = random_batch(1, 4, 1, dtype=np.float64)[0]
+        x = solve_upper(r, b, fast_math=False)
+        np.testing.assert_allclose(r @ x, b, atol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            solve_upper(np.zeros((2, 4, 3)), np.zeros((2, 4, 1)))
+        with pytest.raises(ShapeError):
+            solve_upper(np.zeros((2, 4, 4)), np.zeros((2, 5, 1)))
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_solve_then_multiply_roundtrip(self, n, seed):
+        r = upper_batch(2, n, seed=seed)
+        b = random_batch(2, n, 1, dtype=np.float64, seed=seed + 1)
+        x = solve_upper(r, b, fast_math=False)
+        np.testing.assert_allclose(r @ x, b, atol=1e-8)
+
+
+class TestBatchedMatmul:
+    def test_plain_product(self):
+        a = random_batch(3, 5, 4, dtype=np.float64)
+        b = random_batch(3, 4, 6, dtype=np.float64, seed=1)
+        np.testing.assert_allclose(batched_matmul(a, b), a @ b)
+
+    def test_transposes(self):
+        a = random_batch(2, 5, 4, dtype=np.float64)
+        b = random_batch(2, 6, 5, dtype=np.float64, seed=1)
+        out = batched_matmul(a, b, transpose_a=True, transpose_b=True)
+        np.testing.assert_allclose(out, np.swapaxes(a, 1, 2) @ np.swapaxes(b, 1, 2))
+
+    def test_conjugate_transpose(self):
+        a = random_batch(2, 5, 3, dtype=np.complex128)
+        b = random_batch(2, 5, 4, dtype=np.complex128, seed=1)
+        out = batched_matmul(a, b, transpose_a=True, conjugate_a=True)
+        np.testing.assert_allclose(out, np.swapaxes(a.conj(), 1, 2) @ b)
+
+    def test_alpha_and_accumulate(self):
+        a = random_batch(2, 3, 3, dtype=np.float64)
+        b = random_batch(2, 3, 3, dtype=np.float64, seed=1)
+        c = random_batch(2, 3, 3, dtype=np.float64, seed=2)
+        out = batched_matmul(a, b, alpha=2.0, accumulate=c)
+        np.testing.assert_allclose(out, 2 * (a @ b) + c)
+
+    def test_broadcast_single_operand(self):
+        a = random_batch(1, 3, 4, dtype=np.float64)
+        b = random_batch(5, 4, 2, dtype=np.float64, seed=1)
+        out = batched_matmul(a, b)
+        assert out.shape == (5, 3, 2)
+        np.testing.assert_allclose(out[2], a[0] @ b[2])
+
+    def test_speech_shape(self):
+        # The Section I speech workload: thousands of 79x16 multiplies.
+        a = random_batch(100, 79, 16, dtype=np.float32)
+        b = random_batch(100, 16, 8, dtype=np.float32, seed=1)
+        assert batched_matmul(a, b).shape == (100, 79, 8)
+
+    def test_shape_validation(self):
+        a = random_batch(2, 3, 4, dtype=np.float64)
+        with pytest.raises(ShapeError):
+            batched_matmul(a, random_batch(2, 5, 2, dtype=np.float64))
+        with pytest.raises(ShapeError):
+            batched_matmul(a, random_batch(3, 4, 2, dtype=np.float64))
+        with pytest.raises(ShapeError):
+            batched_matmul(a, random_batch(2, 4, 2, dtype=np.float64),
+                           accumulate=np.zeros((2, 3, 3)))

@@ -1,0 +1,192 @@
+"""Functional layout semantics: ownership, scatter/gather round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchConfigurationError, ShapeError
+from repro.layouts import ColumnCyclic, Cyclic2D, RowCyclic
+
+LAYOUTS = [
+    lambda m, n: Cyclic2D(m, n, 16),
+    lambda m, n: RowCyclic(m, n, 16),
+    lambda m, n: ColumnCyclic(m, n, 16),
+]
+
+
+def random_batch(m, n, batch=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch, m, n)).astype(np.float32)
+
+
+class TestCyclic2D:
+    def test_figure6_ownership(self):
+        # Figure 6 left: a 4x4 grid over an 8x8 matrix repeats 0..15.
+        lay = Cyclic2D(8, 8, 16)
+        assert lay.owner(0, 0) == 0
+        assert lay.owner(0, 3) == 3
+        assert lay.owner(3, 0) == 12
+        assert lay.owner(4, 4) == 0  # cyclic wrap
+        assert lay.owner(1, 2) == 6
+
+    def test_owner_coords_match_listing5(self):
+        lay = Cyclic2D(56, 56, 64)
+        tid, col = lay.owner_coords(9, 17)
+        assert (tid, col) == (1, 1)
+
+    def test_local_index(self):
+        lay = Cyclic2D(56, 56, 64)
+        assert lay.local_index(9, 17) == (1, 2)
+
+    def test_scatter_places_elements_per_listing4(self):
+        lay = Cyclic2D(8, 8, 16)
+        a = random_batch(8, 8, batch=1)
+        tiles = lay.scatter(a)
+        # tiles[b, ti, tj, ii, jj] == A[b, ti + ii*rdim, tj + jj*rdim]
+        for ti in range(4):
+            for tj in range(4):
+                for ii in range(2):
+                    for jj in range(2):
+                        assert tiles[0, ti, tj, ii, jj] == a[0, ti + 4 * ii, tj + 4 * jj]
+
+    def test_roundtrip(self):
+        lay = Cyclic2D(8, 8, 16)
+        a = random_batch(8, 8)
+        np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
+
+    def test_roundtrip_with_padding(self):
+        lay = Cyclic2D(7, 5, 16)  # not multiples of rdim=4
+        a = random_batch(7, 5)
+        np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
+
+    def test_padding_is_zero(self):
+        lay = Cyclic2D(7, 5, 16)
+        tiles = lay.scatter(np.ones((1, 7, 5), dtype=np.float32))
+        assert tiles.sum() == 35  # only real elements are nonzero
+
+    def test_non_square_thread_count_rejected(self):
+        with pytest.raises(LaunchConfigurationError):
+            Cyclic2D(8, 8, 48)
+
+    def test_elements_per_thread(self):
+        assert Cyclic2D(56, 56, 64).elements_per_thread() == 49
+
+    def test_perfect_load_balance_when_divisible(self):
+        assert Cyclic2D(56, 56, 64).load_balance() == 1.0
+
+    def test_complex_dtype_roundtrip(self):
+        lay = Cyclic2D(6, 6, 4)
+        rng = np.random.default_rng(1)
+        a = (rng.standard_normal((2, 6, 6)) + 1j * rng.standard_normal((2, 6, 6))).astype(
+            np.complex64
+        )
+        np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
+
+
+class TestRowCyclic:
+    def test_figure6_ownership(self):
+        # Figure 6 right: row i belongs to thread i mod p.
+        lay = RowCyclic(16, 16, 16)
+        for i in range(16):
+            assert lay.owner(i, 5) == i
+
+    def test_roundtrip(self):
+        lay = RowCyclic(10, 7, 4)
+        a = random_batch(10, 7)
+        np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
+
+    def test_row_is_single_owner(self):
+        lay = RowCyclic(12, 8, 4)
+        assert len(lay.row_owners(3)) == 1
+
+    def test_column_spans_all_threads(self):
+        lay = RowCyclic(12, 8, 4)
+        assert len(lay.column_owners(0)) == 4
+
+
+class TestColumnCyclic:
+    def test_ownership(self):
+        lay = ColumnCyclic(8, 16, 4)
+        assert lay.owner(3, 5) == 1
+        assert lay.owner(0, 4) == 0
+
+    def test_roundtrip(self):
+        lay = ColumnCyclic(9, 11, 4)
+        a = random_batch(9, 11)
+        np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
+
+    def test_column_is_single_owner(self):
+        lay = ColumnCyclic(8, 8, 4)
+        assert len(lay.column_owners(3)) == 1
+
+    def test_row_spans_all_threads(self):
+        lay = ColumnCyclic(8, 8, 4)
+        assert len(lay.row_owners(0)) == 4
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("make", LAYOUTS)
+    def test_single_matrix_promoted_to_batch(self, make):
+        lay = make(8, 8)
+        a = random_batch(8, 8, batch=1)
+        out = lay.gather(lay.scatter(a[0]))
+        np.testing.assert_array_equal(out[0], a[0])
+
+    @pytest.mark.parametrize("make", LAYOUTS)
+    def test_wrong_shape_rejected(self, make):
+        lay = make(8, 8)
+        with pytest.raises(ShapeError):
+            lay.scatter(np.zeros((2, 7, 8), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            lay.gather(np.zeros((3, 3), dtype=np.float32))
+
+    @pytest.mark.parametrize("make", LAYOUTS)
+    def test_out_of_range_owner_rejected(self, make):
+        lay = make(8, 8)
+        with pytest.raises(ShapeError):
+            lay.owner(8, 0)
+
+    @pytest.mark.parametrize("make", LAYOUTS)
+    def test_invalid_dims_rejected(self, make):
+        with pytest.raises(ShapeError):
+            make(0, 8)
+
+    @given(
+        m=st.integers(min_value=1, max_value=24),
+        n=st.integers(min_value=1, max_value=24),
+        which=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, m, n, which):
+        lay = LAYOUTS[which](m, n)
+        rng = np.random.default_rng(m * 31 + n)
+        a = rng.standard_normal((2, m, n)).astype(np.float32)
+        np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
+
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        n=st.integers(min_value=1, max_value=16),
+        which=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_element_owned_by_valid_thread(self, m, n, which):
+        lay = LAYOUTS[which](m, n)
+        owners = lay.ownership_map()
+        assert owners.min() >= 0
+        assert owners.max() < lay.threads
+
+    @given(
+        m=st.integers(min_value=16, max_value=32),
+        n=st.integers(min_value=16, max_value=32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_preserves_every_element(self, m, n):
+        lay = Cyclic2D(m, n, 16)
+        a = np.arange(m * n, dtype=np.float32).reshape(1, m, n)
+        tiles = lay.scatter(a)
+        # All original values appear exactly once in the tiles.
+        vals = np.sort(tiles.ravel())
+        nonzero = vals[vals > 0]
+        expected = np.arange(1, m * n, dtype=np.float32)
+        np.testing.assert_array_equal(nonzero, expected)

@@ -1,0 +1,78 @@
+"""End-to-end calibration vs the published Table IV."""
+
+import pytest
+
+from repro.gpu import QUADRO_6000
+from repro.microbench import calibrate, measure_fma_latency
+from repro.model import ModelParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return calibrate(QUADRO_6000)
+
+
+class TestCalibration:
+    def test_alpha_glb_near_570(self, params):
+        assert params.alpha_glb == pytest.approx(570, rel=0.02)
+
+    def test_global_bandwidth_near_108(self, params):
+        assert params.global_bandwidth / 1e9 == pytest.approx(108, rel=0.05)
+
+    def test_alpha_sh_is_27(self, params):
+        assert params.alpha_sh == 27
+
+    def test_shared_bandwidth_near_880(self, params):
+        assert params.shared_bandwidth / 1e9 == pytest.approx(880, rel=0.02)
+
+    def test_alpha_sync_is_46(self, params):
+        assert params.alpha_sync == 46
+
+    def test_gamma_is_18(self, params):
+        assert params.gamma == 18
+
+    def test_every_parameter_within_5pct_of_paper(self, params):
+        paper = ModelParameters.paper_table_iv()
+        assert params.alpha_glb == pytest.approx(paper.alpha_glb, rel=0.05)
+        assert params.global_bandwidth == pytest.approx(
+            paper.global_bandwidth, rel=0.05
+        )
+        assert params.alpha_sh == pytest.approx(paper.alpha_sh, rel=0.05)
+        assert params.shared_bandwidth == pytest.approx(
+            paper.shared_bandwidth, rel=0.05
+        )
+        assert params.alpha_sync == pytest.approx(paper.alpha_sync, rel=0.05)
+        assert params.gamma == pytest.approx(paper.gamma, rel=0.05)
+
+
+class TestParameterObject:
+    def test_betas_are_inverses(self, params):
+        assert params.beta_glb == pytest.approx(1.0 / params.global_bandwidth)
+        assert params.beta_sh == pytest.approx(1.0 / params.shared_bandwidth)
+
+    def test_table_iv_rows_render(self, params):
+        rows = params.as_rows()
+        assert len(rows) == 6
+        assert all(isinstance(k, str) and isinstance(v, str) for k, v in rows)
+
+    def test_sync_latency_generalizes(self, params):
+        assert params.sync_latency(64) == 46
+        assert params.sync_latency(256) > 46
+
+    def test_paper_preset_exact_values(self):
+        paper = ModelParameters.paper_table_iv()
+        assert paper.alpha_glb == 570
+        assert paper.global_bandwidth == 108e9
+        assert paper.alpha_sh == 27
+        assert paper.shared_bandwidth == 880e9
+        assert paper.alpha_sync == 46
+        assert paper.gamma == 18
+
+
+class TestFmaLatency:
+    def test_dependent_chain_gives_pipeline_depth(self):
+        assert measure_fma_latency(QUADRO_6000) == QUADRO_6000.pipeline_latency
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            measure_fma_latency(QUADRO_6000, chain=0)

@@ -1,0 +1,126 @@
+"""Latency microbenchmarks vs Table III, Figure 1, Figure 2."""
+
+import pytest
+
+from repro.gpu import G80, QUADRO_6000
+from repro.microbench import (
+    measure_shared_latency,
+    measure_sync_latency,
+    plateau_latency,
+    sweep_global_latency,
+    sweep_sync_latency,
+)
+
+
+class TestSharedLatency:
+    def test_gf100_byte_variant_is_27(self):
+        res = measure_shared_latency(QUADRO_6000)
+        assert res.byte_variant_cycles == 27
+
+    def test_int_and_byte_variants_agree(self):
+        # Section II-C1: "our byte pointer chasing benchmark yields the
+        # exact same results as our other approach".
+        res = measure_shared_latency(QUADRO_6000)
+        assert res.int_variant_cycles == res.byte_variant_cycles
+
+    def test_combined_shift_plus_load_is_45(self):
+        res = measure_shared_latency(QUADRO_6000)
+        assert res.combined_cycles == 45
+
+    def test_generic_ld_penalty_is_14(self):
+        res = measure_shared_latency(QUADRO_6000)
+        assert res.generic_ld_penalty == 14
+
+    def test_methodology_reproduces_volkov_on_g80(self):
+        res = measure_shared_latency(G80)
+        assert res.latency_cycles == 36
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(ValueError):
+            measure_shared_latency(QUADRO_6000, words=1)
+
+
+class TestGlobalLatency:
+    def test_plateau_near_570(self):
+        assert plateau_latency(QUADRO_6000) == pytest.approx(570, rel=0.02)
+
+    def test_sweep_is_broadly_increasing(self):
+        sweep = sweep_global_latency(
+            QUADRO_6000, strides=[1, 8, 64, 512, 4096, 1 << 15], hops=256
+        )
+        lats = sweep.latencies
+        assert lats[0] < 160
+        assert lats[-1] > 600
+        assert all(b >= a - 1e-9 for a, b in zip(lats, lats[1:]))
+
+    def test_series_axes_are_log2(self):
+        sweep = sweep_global_latency(QUADRO_6000, strides=[1, 2, 4], hops=64)
+        assert [x for x, _ in sweep.series()] == [0, 1, 2]
+
+    def test_figure1_range_matches_paper(self):
+        # Figure 1's y-axis spans ~0-600 cycles.
+        sweep = sweep_global_latency(
+            QUADRO_6000, strides=[1, 1 << 10, 1 << 16], hops=256
+        )
+        assert max(sweep.latencies) < 700
+        assert min(sweep.latencies) > 50
+
+
+class TestSyncLatency:
+    def test_64_threads_is_46_cycles(self):
+        assert measure_sync_latency(QUADRO_6000, 64) == 46
+
+    def test_sweep_monotone(self):
+        sweep = sweep_sync_latency(QUADRO_6000, thread_counts=range(32, 513, 32))
+        assert list(sweep.latencies) == sorted(sweep.latencies)
+
+    def test_sweep_lookup(self):
+        sweep = sweep_sync_latency(QUADRO_6000, thread_counts=[64, 128])
+        assert sweep.at(64) == 46
+        with pytest.raises(KeyError):
+            sweep.at(96)
+
+    def test_figure2_magnitude(self):
+        sweep = sweep_sync_latency(QUADRO_6000, thread_counts=[1024])
+        assert 150 <= sweep.latencies[0] <= 200
+
+    def test_series_shape(self):
+        sweep = sweep_sync_latency(QUADRO_6000, thread_counts=[64, 128])
+        assert sweep.series() == [(64, 46.0), (128, sweep.at(128))]
+
+
+class TestBankConflicts:
+    def test_sawtooth_shape(self):
+        from repro.microbench import sweep_bank_conflicts
+
+        sweep = sweep_bank_conflicts(QUADRO_6000)
+        by_stride = dict(zip(sweep.strides, sweep.degrees))
+        assert by_stride[1] == 1     # unit stride: conflict-free
+        assert by_stride[2] == 2     # even strides conflict
+        assert by_stride[32] == 32   # full serialization
+        assert by_stride[17] == 1    # odd strides: conflict-free
+        assert sweep.worst_stride() == 32
+
+    def test_bandwidth_inverse_to_degree(self):
+        from repro.microbench import sweep_bank_conflicts
+
+        sweep = sweep_bank_conflicts(QUADRO_6000)
+        table = dict(zip(sweep.strides, sweep.bandwidths))
+        assert table[1] == pytest.approx(32 * table[32])
+        assert table[1] == pytest.approx(
+            QUADRO_6000.shared_banks * 4 * QUADRO_6000.shared_clock_hz
+        )
+
+    def test_g80_16_banks(self):
+        from repro.gpu import G80
+        from repro.microbench import sweep_bank_conflicts
+
+        # G80 has 16 banks, so conflicts saturate at half the stride they
+        # do on GF100 (the model serves the full 32-lane warp at once;
+        # real G80 split it into half-warps, halving the worst degree --
+        # a documented simplification).
+        sweep = sweep_bank_conflicts(G80)
+        by_stride = dict(zip(sweep.strides, sweep.degrees))
+        assert by_stride[8] == 16
+        assert by_stride[16] == 32
+        assert by_stride[1] == 2  # 32 lanes over 16 banks: 2 words/bank

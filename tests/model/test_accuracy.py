@@ -1,0 +1,49 @@
+"""The paper's headline claim, quantified: the model is accurate."""
+
+import math
+
+import pytest
+
+from repro.model import model_accuracy
+
+
+@pytest.fixture(scope="module")
+def report():
+    return model_accuracy(sizes=range(8, 145, 8))
+
+
+class TestModelAccuracy:
+    def test_accurate_where_it_claims_validity(self, report):
+        # "This model accurately predicts and explains our performance
+        # across different problem sizes": under 10% MAPE without spill.
+        assert report.mape_no_spill < 0.10
+
+    def test_worst_case_bounded(self, report):
+        assert report.worst_no_spill < 0.20
+
+    def test_spill_region_knowingly_worse(self, report):
+        # Figure 9's "false predictions ... due to register spilling,
+        # which our model does not consider".
+        assert report.mape_spill > 2 * report.mape_no_spill
+
+    def test_model_overpredicts_under_spill(self, report):
+        # The model ignores a real cost, so its error is one-sided there.
+        spill_points = [p for p in report.points if p.spills]
+        assert spill_points
+        assert all(p.error > 0 for p in spill_points)
+
+    def test_covers_both_kinds_and_all_sizes(self, report):
+        kinds = {p.kind for p in report.points}
+        assert kinds == {"qr", "lu"}
+        assert len(report.points) == 2 * len(range(8, 145, 8))
+
+    def test_spill_flags_match_block_config(self, report):
+        flagged = {p.n for p in report.points if p.spills}
+        # 64 and 72 spill with 64 threads; 120+ spill with 256 threads.
+        assert 64 in flagged
+        assert 56 not in flagged
+
+    def test_empty_region_is_nan(self):
+        tiny = model_accuracy(sizes=[16])  # nothing spills at 16
+        assert math.isnan(tiny.mape_spill)
+        assert tiny.mape_no_spill < 0.10

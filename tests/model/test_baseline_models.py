@@ -1,0 +1,155 @@
+"""CPU (MKL-like), hybrid (MAGMA-like) and streams baselines."""
+
+import pytest
+
+from repro.model import (
+    CpuModel,
+    HybridModel,
+    I7_2600,
+    ModelParameters,
+    StreamsModel,
+    qr_flops,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters.paper_table_iv()
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CpuModel()
+
+
+class TestCpuSpec:
+    def test_peak_sp(self):
+        # 4 cores x 3.4 GHz x 16 SP flops/cycle = 217.6 GFLOPS.
+        assert I7_2600.peak_sp_flops == pytest.approx(217.6e9)
+
+
+class TestCpuModel:
+    def test_real_qr_56_near_headline(self, cpu):
+        # Abstract: 29x vs our ~180 GFLOPS => MKL ~6.2 GFLOPS.
+        assert cpu.gflops("qr", 56, batch=5000) == pytest.approx(6.2, rel=0.1)
+
+    def test_complex_stap_sizes(self, cpu):
+        # Table VII MKL columns: 5.4 / 36 / 27 GFLOPS.
+        g1 = cpu.gflops("qr", 80, 16, batch=384, complex_dtype=True)
+        g2 = cpu.gflops("qr", 240, 66, batch=128, complex_dtype=True)
+        g3 = cpu.gflops("qr", 192, 96, batch=128, complex_dtype=True)
+        assert g1 == pytest.approx(5.4, rel=0.15)
+        assert g2 == pytest.approx(36, rel=0.35)
+        assert g3 == pytest.approx(27, rel=0.15)
+
+    def test_rate_grows_with_n(self, cpu):
+        vals = [cpu.gflops("qr", n, batch=1000) for n in (8, 24, 56, 96, 144)]
+        assert vals == sorted(vals)
+
+    def test_never_exceeds_cpu_peak(self, cpu):
+        for n in (8, 64, 256, 1024):
+            assert cpu.gflops("qr", n, batch=100) * 1e9 < I7_2600.peak_sp_flops
+
+    def test_small_batch_loses_parallelism(self, cpu):
+        # 1 problem runs on one core; 4 problems use all cores.
+        t1 = cpu.seconds("qr", 56, batch=1)
+        t4 = cpu.seconds("qr", 56, batch=4)
+        assert t4 == pytest.approx(t1)  # same wall time, 4x the work
+
+    def test_batch_scaling_linear_beyond_cores(self, cpu):
+        t4 = cpu.seconds("qr", 56, batch=4)
+        t400 = cpu.seconds("qr", 56, batch=400)
+        assert t400 == pytest.approx(100 * t4, rel=1e-6)
+
+    def test_all_kinds_supported(self, cpu):
+        for kind in ("qr", "lu", "gauss_jordan", "least_squares"):
+            assert cpu.gflops(kind, 32, batch=100) > 0
+
+    def test_unknown_kind_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.gflops("cholesky", 32)
+
+    def test_zero_batch_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.seconds("qr", 32, batch=0)
+
+
+class TestHybridModel:
+    def test_small_problems_run_at_cpu_speed(self, params):
+        # Section VI-A: "all problems less than 96 wide are done entirely
+        # on the CPU" -- far below the per-block GPU rate.
+        h = HybridModel(params)
+        assert h.gflops("qr", 56, batch=100) < 10
+
+    def test_gpu_start_pays_transfers_when_small(self, params):
+        h = HybridModel(params)
+        small_gpu = h.gflops("qr", 56, batch=10, gpu_start=True)
+        small_cpu = h.gflops("qr", 56, batch=10, gpu_start=False)
+        assert small_cpu > small_gpu
+
+    def test_large_problems_approach_gemm_rate(self, params):
+        # Figure 10: hybrid reaches ~400+ GFLOPS at n=8192.
+        h = HybridModel(params)
+        g = h.gflops("qr", 8192, batch=1)
+        assert 350 < g < 560
+
+    def test_monotone_improvement_with_size(self, params):
+        h = HybridModel(params)
+        vals = [h.gflops("qr", n) for n in (128, 512, 2048, 8192)]
+        assert vals == sorted(vals)
+
+    def test_crossover_with_panel_width(self, params):
+        h = HybridModel(params)
+        below = h.gflops("qr", 95)
+        above = h.gflops("qr", 128)
+        assert above > below * 2  # the blocked path finally engages
+
+    def test_lu_supported(self, params):
+        assert HybridModel(params).gflops("lu", 1024) > 0
+
+    def test_invalid_inputs(self, params):
+        h = HybridModel(params)
+        with pytest.raises(ValueError):
+            h.seconds_per_problem("qr", 0)
+        with pytest.raises(ValueError):
+            h.gflops("qr", 64, batch=0)
+        with pytest.raises(ValueError):
+            h.seconds_per_problem("cholesky", 64)
+
+
+class TestStreamsModel:
+    def test_launch_overhead_dominates_small(self, params):
+        s = StreamsModel(params)
+        per = s.seconds_per_problem("qr", 56)
+        launch = 4 * 56 * s.config.launch_overhead
+        assert launch / per > 0.5
+
+    def test_slower_than_cpu_for_small_problems(self, params, cpu):
+        # Section VI-C: "We could achieve better performance solving the
+        # problems sequentially on the CPU."
+        s = StreamsModel(params)
+        assert s.gflops("qr", 56, batch=5000) < cpu.gflops("qr", 56, batch=5000)
+
+    def test_streams_do_not_help(self, params):
+        from repro.model import StreamsConfig
+
+        base = StreamsModel(params)
+        multi = StreamsModel(params, StreamsConfig(effective_concurrency=1.0))
+        assert base.gflops("qr", 56, batch=100) == pytest.approx(
+            multi.gflops("qr", 56, batch=100)
+        )
+
+    def test_lu_uses_fewer_calls(self, params):
+        s = StreamsModel(params)
+        qr_calls_time = s.seconds_per_problem("qr", 56)
+        lu_calls_time = s.seconds_per_problem("lu", 56)
+        assert lu_calls_time < qr_calls_time
+
+    def test_invalid_inputs(self, params):
+        s = StreamsModel(params)
+        with pytest.raises(ValueError):
+            s.seconds_per_problem("qr", 0)
+        with pytest.raises(ValueError):
+            s.gflops("qr", 8, batch=0)
+        with pytest.raises(ValueError):
+            s.seconds_per_problem("cholesky", 8)

@@ -1,0 +1,102 @@
+"""FLOP-count conventions from Section III."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import (
+    gauss_jordan_flops,
+    least_squares_flops,
+    lu_flops,
+    matmul_flops,
+    matrix_bytes,
+    matrix_words,
+    qr_flops,
+    qr_flops_complex,
+)
+
+dims = st.integers(min_value=1, max_value=512)
+
+
+class TestPaperAnchors:
+    def test_7x7_qr_is_457_flops(self):
+        # Section IV's worked example.
+        assert qr_flops(7, 7) == pytest.approx(457, abs=0.5)
+
+    def test_112x112_qr_is_1_87_mflops(self):
+        # Section V: "A QR factorization on a 112x112 matrix performs
+        # 1.87 MFLOPs".
+        assert qr_flops(112, 112) == pytest.approx(1.87e6, rel=0.01)
+
+    def test_7x7_matrix_traffic_is_392_bytes(self):
+        # Section IV: 2 x 7 x 7 x 4 bytes read+write.
+        assert 2 * matrix_bytes(7, 7) == 392
+
+    def test_gauss_jordan_cubic(self):
+        assert gauss_jordan_flops(10) == 1000
+
+    def test_lu_two_thirds_cubic(self):
+        assert lu_flops(6) == pytest.approx(144)
+
+    def test_complex_qr_section_vii(self):
+        # Section VII: 8mn^2 - 8/3 n^3.
+        assert qr_flops_complex(240, 66) == pytest.approx(
+            8 * 240 * 66**2 - 8 / 3 * 66**3
+        )
+
+    def test_least_squares_section_iii_d(self):
+        m, n = 20, 10
+        assert least_squares_flops(m, n) == pytest.approx(
+            2 * m * n * n - 2 / 3 * n**3 + 1 / 3 * n**3
+        )
+
+    def test_matmul(self):
+        assert matmul_flops(79, 16, 100) == 2 * 79 * 16 * 100
+
+
+class TestValidation:
+    def test_qr_rejects_wide(self):
+        with pytest.raises(ValueError):
+            qr_flops(4, 8)
+
+    def test_least_squares_rejects_wide(self):
+        with pytest.raises(ValueError):
+            least_squares_flops(4, 8)
+
+    def test_zero_dims_rejected(self):
+        for fn in (gauss_jordan_flops, lu_flops):
+            with pytest.raises(ValueError):
+                fn(0)
+        with pytest.raises(ValueError):
+            qr_flops(0, 0)
+        with pytest.raises(ValueError):
+            matmul_flops(1, 0, 1)
+
+    def test_matrix_words_complex_doubles(self):
+        assert matrix_words(3, 4, complex_dtype=True) == 24
+        assert matrix_bytes(3, 4, complex_dtype=True) == 96
+
+
+class TestProperties:
+    @given(n=dims)
+    def test_qr_square_exceeds_lu(self, n):
+        # QR does more work than LU on the same matrix.
+        assert qr_flops(n, n) >= lu_flops(n)
+
+    @given(n=st.integers(min_value=2, max_value=512))
+    def test_counts_increase_with_n(self, n):
+        assert qr_flops(n, n) > qr_flops(n - 1, n - 1)
+        assert lu_flops(n) > lu_flops(n - 1)
+        assert gauss_jordan_flops(n) > gauss_jordan_flops(n - 1)
+
+    @given(m=dims, n=dims)
+    def test_complex_qr_is_4x_real(self, m, n):
+        if m < n:
+            m, n = n, m
+        assert qr_flops_complex(m, n) == pytest.approx(4 * qr_flops(m, n))
+
+    @given(m=dims, n=dims)
+    def test_taller_qr_does_more_work(self, m, n):
+        if m < n:
+            m, n = n, m
+        assert qr_flops(m + 1, n) > qr_flops(m, n)

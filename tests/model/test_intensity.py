@@ -1,0 +1,62 @@
+"""Arithmetic intensity / roofline (Section IV's simple model)."""
+
+import pytest
+
+from repro.model import (
+    ModelParameters,
+    arithmetic_intensity,
+    factorization_intensity,
+    qr_flops,
+    roofline_gflops,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters.paper_table_iv()
+
+
+class TestIntensity:
+    def test_paper_worked_example(self):
+        # 7x7 QR: 457 flops / 392 bytes = 1.17 flops/byte.
+        i = arithmetic_intensity(qr_flops(7, 7), 392)
+        assert i == pytest.approx(1.17, abs=0.01)
+
+    def test_factorization_intensity_reads_and_writes(self):
+        i = factorization_intensity(qr_flops(7, 7), 7, 7)
+        assert i == pytest.approx(457.33 / 392, rel=1e-3)
+
+    def test_complex_halves_intensity_per_word(self):
+        real = factorization_intensity(1000, 8, 8)
+        cplx = factorization_intensity(1000, 8, 8, complex_dtype=True)
+        assert cplx == pytest.approx(real / 2)
+
+    def test_zero_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(100, 0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(-1, 100)
+
+
+class TestRoofline:
+    def test_paper_prediction_126_gflops(self, params):
+        # Section IV: 1.17 flops/byte x 108 GB/s ~ 126 GFLOPS.
+        g = roofline_gflops(params, 1.17)
+        assert g == pytest.approx(126, rel=0.01)
+
+    def test_caps_at_compute_peak(self, params):
+        # Section V: a 112x112 per-block problem's intensity predicts
+        # >2 TFLOPS, "beyond the max theoretical arithmetic throughput".
+        g = roofline_gflops(params, 20.0)
+        assert g == pytest.approx(params.device.peak_sp_flops / 1e9)
+
+    def test_linear_below_ridge(self, params):
+        assert roofline_gflops(params, 2.0) == pytest.approx(
+            2 * roofline_gflops(params, 1.0)
+        )
+
+    def test_negative_intensity_rejected(self, params):
+        with pytest.raises(ValueError):
+            roofline_gflops(params, -0.1)

@@ -1,0 +1,86 @@
+"""Equations 1 and 2 of the paper."""
+
+import pytest
+
+from repro.model import (
+    GlobalPhase,
+    LocalPhase,
+    ModelParameters,
+    global_time,
+    local_time,
+    total_time,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters.paper_table_iv()
+
+
+class TestGlobalModel:
+    def test_pure_latency(self, params):
+        assert global_time(params, GlobalPhase(messages=3)) == 3 * 570
+
+    def test_pure_bandwidth(self, params):
+        # 108 GB at 1/108 s/GB is one second = one clock's worth of cycles.
+        t = global_time(params, GlobalPhase(bytes=108e9))
+        assert t == pytest.approx(params.device.clock_hz)
+
+    def test_pure_flops(self, params):
+        assert global_time(params, GlobalPhase(flops=100)) == 1800
+
+    def test_terms_add(self, params):
+        combined = global_time(params, GlobalPhase(messages=1, bytes=1e6, flops=10))
+        parts = (
+            global_time(params, GlobalPhase(messages=1))
+            + global_time(params, GlobalPhase(bytes=1e6))
+            + global_time(params, GlobalPhase(flops=10))
+        )
+        assert combined == pytest.approx(parts)
+
+    def test_empty_phase_is_free(self, params):
+        assert global_time(params, GlobalPhase()) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalPhase(messages=-1)
+
+
+class TestLocalModel:
+    def test_pure_latency(self, params):
+        assert local_time(params, LocalPhase(messages=2)) == 54
+
+    def test_sync_term_uses_block_size(self, params):
+        t64 = local_time(params, LocalPhase(syncs=1, threads=64))
+        t256 = local_time(params, LocalPhase(syncs=1, threads=256))
+        assert t64 == 46
+        assert t256 > t64
+
+    def test_shared_bandwidth_term(self, params):
+        t = local_time(params, LocalPhase(bytes=880e9))
+        assert t == pytest.approx(params.device.clock_hz)
+
+    def test_flops_term_matches_global(self, params):
+        lcl = local_time(params, LocalPhase(flops=50))
+        glb = global_time(params, GlobalPhase(flops=50))
+        assert lcl == glb
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LocalPhase(syncs=-1)
+
+
+class TestTotalTime:
+    def test_no_overlap_sum(self, params):
+        glb = GlobalPhase(messages=1, bytes=1e6)
+        lcl = LocalPhase(messages=10, syncs=2, flops=100)
+        assert total_time(params, glb, lcl) == pytest.approx(
+            global_time(params, glb) + local_time(params, lcl)
+        )
+
+    def test_shared_access_cheaper_than_global(self, params):
+        # The premise of keeping data on-chip: same message count, same
+        # byte count, the local phase is faster.
+        glb = GlobalPhase(messages=5, bytes=1e6)
+        lcl = LocalPhase(messages=5, bytes=1e6)
+        assert local_time(params, lcl) < global_time(params, glb)

@@ -1,0 +1,50 @@
+"""One-problem-per-thread roofline predictions (Figure 4 dashed lines)."""
+
+import pytest
+
+from repro.model import ModelParameters, predict_per_thread
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters.paper_table_iv()
+
+
+class TestPredictions:
+    def test_7x7_qr_is_126_gflops(self, params):
+        pred = predict_per_thread(params, "qr", 7)
+        assert pred.gflops == pytest.approx(126, rel=0.01)
+        assert pred.intensity == pytest.approx(1.17, abs=0.01)
+
+    def test_figure4_qr_range(self, params):
+        # Figure 4's y-axis: QR climbs from ~30 GFLOPS at n=3 to ~140 at
+        # n=8 on the model line.
+        low = predict_per_thread(params, "qr", 3).gflops
+        high = predict_per_thread(params, "qr", 8).gflops
+        assert 20 < low < 60
+        assert 120 < high < 160
+
+    def test_qr_beats_lu_at_same_n(self, params):
+        # More flops over the same traffic: higher intensity.
+        for n in (4, 8, 12):
+            qr = predict_per_thread(params, "qr", n)
+            lu = predict_per_thread(params, "lu", n)
+            assert qr.gflops > lu.gflops
+
+    def test_prediction_linear_in_n(self, params):
+        # Intensity of an n^3-flop / n^2-word problem grows ~linearly.
+        g4 = predict_per_thread(params, "lu", 4).gflops
+        g8 = predict_per_thread(params, "lu", 8).gflops
+        assert g8 == pytest.approx(2 * g4, rel=0.01)
+
+    def test_monotone_in_n(self, params):
+        vals = [predict_per_thread(params, "qr", n).gflops for n in range(3, 13)]
+        assert vals == sorted(vals)
+
+    def test_traffic_counts_read_and_write(self, params):
+        pred = predict_per_thread(params, "qr", 7)
+        assert pred.bytes_per_problem == 392
+
+    def test_unknown_kind_rejected(self, params):
+        with pytest.raises(ValueError):
+            predict_per_thread(params, "cholesky", 4)

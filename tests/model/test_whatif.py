@@ -1,0 +1,73 @@
+"""What-if analysis: the model explains *why* each mapping performs."""
+
+import pytest
+
+from repro.model import ModelParameters, scale_parameters, whatif
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters.paper_table_iv()
+
+
+class TestScaleParameters:
+    def test_identity_scaling(self, params):
+        out = scale_parameters(params)
+        assert out.alpha_glb == params.alpha_glb
+        assert out.gamma == params.gamma
+
+    def test_individual_knobs(self, params):
+        out = scale_parameters(params, global_bandwidth=2.0, alpha_sh=0.5)
+        assert out.global_bandwidth == pytest.approx(2 * params.global_bandwidth)
+        assert out.alpha_sh == pytest.approx(params.alpha_sh / 2)
+        assert out.alpha_glb == params.alpha_glb  # untouched
+
+    def test_gamma_scales_device_pipeline(self, params):
+        out = scale_parameters(params, gamma=0.5)
+        assert out.device.pipeline_latency == params.device.pipeline_latency // 2
+
+    def test_sync_scales_device_curve(self, params):
+        out = scale_parameters(params, alpha_sync=0.5)
+        assert out.sync_latency(64) < params.sync_latency(64)
+
+    def test_invalid_factor_rejected(self, params):
+        with pytest.raises(ValueError):
+            scale_parameters(params, gamma=0)
+
+
+class TestSensitivities:
+    def test_per_thread_is_pure_bandwidth(self, params):
+        # Section IV's model: doubling DRAM bandwidth doubles throughput;
+        # nothing else matters below the compute roof.
+        s = whatif(params, "per-thread", "qr", 7)
+        assert s.speedup("global_bandwidth") == pytest.approx(2.0)
+        for knob in ("shared_latency", "sync_latency", "gamma"):
+            assert s.speedup(knob) == pytest.approx(1.0)
+        assert s.dominant_knob() == "global_bandwidth"
+
+    def test_per_block_is_compute_and_shared_bound(self, params):
+        # Section V's point: once the matrix is on-chip, gamma and the
+        # shared-memory terms dominate; DRAM bandwidth barely matters.
+        s = whatif(params, "per-block", "qr", 56)
+        assert s.speedup("gamma") > 1.2
+        assert s.speedup("shared_latency") > 1.1
+        assert s.speedup("global_bandwidth") < 1.15
+        assert s.dominant_knob() == "gamma"
+
+    def test_lu_less_shared_sensitive_than_qr(self, params):
+        # QR's reductions move more shared traffic per flop than LU.
+        qr = whatif(params, "per-block", "qr", 56)
+        lu = whatif(params, "per-block", "lu", 56)
+        assert qr.speedup("shared_latency") > lu.speedup("shared_latency") - 0.05
+
+    def test_unknown_approach_rejected(self, params):
+        with pytest.raises(ValueError):
+            whatif(params, "per-warp", "qr", 8)
+
+    def test_baseline_matches_direct_prediction(self, params):
+        from repro.model import predict_per_block
+
+        s = whatif(params, "per-block", "qr", 32)
+        assert s.baseline_gflops == pytest.approx(
+            predict_per_block(params, "qr", 32).gflops
+        )

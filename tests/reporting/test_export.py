@@ -1,0 +1,71 @@
+"""CSV/JSON export of experiment data."""
+
+import csv
+import json
+
+import pytest
+
+from repro.reporting import export_experiment, run_experiment, to_csv, to_json
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_experiment("fig2")
+
+
+@pytest.fixture(scope="module")
+def table7():
+    return run_experiment("table7")
+
+
+class TestJson:
+    def test_roundtrip(self, fig2, tmp_path):
+        path = to_json(fig2, tmp_path / "fig2.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "fig2"
+        assert payload["data"]["threads"][0] == 32
+
+    def test_numpy_values_serialized(self, table7, tmp_path):
+        path = to_json(table7, tmp_path / "t7.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["data"]["rows"][0]["gpu_gflops"], float)
+
+    def test_nan_becomes_null(self, tmp_path):
+        fig10 = run_experiment("fig10", sizes=(8, 8192))
+        payload = json.loads(to_json(fig10, tmp_path / "f.json").read_text())
+        assert payload["data"]["qr_per_thread"][-1] is None
+
+
+class TestCsv:
+    def test_series_columns(self, fig2, tmp_path):
+        path = to_csv(fig2, tmp_path / "fig2.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["threads", "latency"]
+        assert len(rows) == 1 + len(fig2.data["threads"])
+
+    def test_non_series_rejected(self, table7, tmp_path):
+        with pytest.raises(ValueError):
+            to_csv(table7, tmp_path / "nope.csv")
+
+    def test_fig9_series(self, tmp_path):
+        fig9 = run_experiment("fig9", sizes=(16, 56))
+        path = to_csv(fig9, tmp_path / "fig9.csv")
+        with path.open() as fh:
+            header = next(csv.reader(fh))
+        assert "qr_measured" in header and "lu_predicted" in header
+
+
+class TestExportBundle:
+    def test_series_writes_both(self, fig2, tmp_path):
+        files = export_experiment(fig2, tmp_path)
+        assert {f.suffix for f in files} == {".json", ".csv"}
+
+    def test_table_writes_json_only(self, table7, tmp_path):
+        files = export_experiment(table7, tmp_path)
+        assert [f.suffix for f in files] == [".json"]
+
+    def test_creates_directory(self, fig2, tmp_path):
+        out = tmp_path / "nested" / "dir"
+        export_experiment(fig2, out)
+        assert (out / "fig2.json").exists()

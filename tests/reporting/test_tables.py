@@ -1,0 +1,58 @@
+"""Plain-text rendering helpers."""
+
+import pytest
+
+from repro.reporting import ascii_chart, format_comparison, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(l) for l in lines if l}) <= 2  # header/body same width
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234.5678], [0.001234], [1.5]])
+        assert "1.23e+03" in out or "1230" in out
+        assert "0.00123" in out
+        assert "1.5" in out
+
+
+class TestFormatSeries:
+    def test_multi_series(self):
+        out = format_series([1, 2], {"y1": [10.0, 20.0], "y2": [1.0, 2.0]}, x_label="n")
+        assert "n" in out and "y1" in out and "y2" in out
+        assert "20" in out
+
+
+class TestAsciiChart:
+    def test_bars_scale(self):
+        out = ascii_chart([1, 2], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], [1.0, 2.0])
+
+    def test_label(self):
+        assert ascii_chart([1], [1.0], label="L").splitlines()[0] == "L"
+
+
+class TestComparison:
+    def test_ratio_column(self):
+        out = format_comparison([("x", 2.0, 4.0)])
+        assert "2.00x" in out
+
+    def test_non_numeric_paper_value(self):
+        out = format_comparison([("x", "n/a", 4.0)])
+        assert "n/a" in out

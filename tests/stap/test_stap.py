@@ -1,0 +1,193 @@
+"""STAP application: datacube physics, weights, pipeline, Table VII."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.stap import (
+    RT_STAP_CASES,
+    RadarScenario,
+    doppler_filterbank,
+    generate_datacube,
+    inject_target,
+    qr_adaptive_weights,
+    run_pipeline,
+    run_stap_case,
+    space_time_steering,
+    spatial_steering,
+    training_matrices,
+)
+
+
+@pytest.fixture(scope="module")
+def small_cube():
+    return generate_datacube(RadarScenario(channels=4, pulses=8, ranges=256))
+
+
+class TestDatacube:
+    def test_shape_and_dtype(self, small_cube):
+        assert small_cube.data.shape == (4, 8, 256)
+        assert small_cube.data.dtype == np.complex64
+
+    def test_deterministic_given_seed(self):
+        sc = RadarScenario(channels=2, pulses=4, ranges=64, seed=5)
+        a = generate_datacube(sc).data
+        b = generate_datacube(sc).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_interference_dominates_noise(self, small_cube):
+        # CNR/JNR >> 0 dB: cube power far above the unit noise floor.
+        power = np.mean(np.abs(small_cube.data) ** 2)
+        assert power > 10
+
+    def test_snapshots_shape(self, small_cube):
+        snaps = small_cube.snapshots()
+        assert snaps.shape == (256, 32)
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ShapeError):
+            RadarScenario(channels=0)
+
+    def test_steering_vectors_unit_modulus(self):
+        s = spatial_steering(8, 0.3)
+        np.testing.assert_allclose(np.abs(s), 1.0, rtol=1e-6)
+        v = space_time_steering(4, 8, 0.3, 0.1)
+        assert v.shape == (32,)
+        np.testing.assert_allclose(np.abs(v), 1.0, rtol=1e-6)
+
+    def test_clutter_ridge_structure(self):
+        # Clutter snapshots must correlate strongly with on-ridge
+        # steering vectors and weakly with off-ridge ones.
+        sc = RadarScenario(channels=4, pulses=8, ranges=128, jammer_angles=())
+        cube = generate_datacube(sc)
+        snaps = cube.snapshots()
+        angle = 0.3
+        on_ridge = space_time_steering(4, 8, angle, 0.5 * np.sin(angle))
+        off_ridge = space_time_steering(4, 8, angle, -0.45)
+        p_on = np.mean(np.abs(snaps @ on_ridge.conj()) ** 2)
+        p_off = np.mean(np.abs(snaps @ off_ridge.conj()) ** 2)
+        assert p_on > 10 * p_off
+
+
+class TestDoppler:
+    def test_filterbank_shape(self, small_cube):
+        out = doppler_filterbank(small_cube)
+        assert out.shape == (4, 8, 256)
+        assert out.dtype == np.complex64
+
+    def test_rect_window_is_plain_fft(self, small_cube):
+        out = doppler_filterbank(small_cube, window="rect")
+        ref = np.fft.fft(small_cube.data, axis=1).astype(np.complex64)
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_unknown_window_rejected(self, small_cube):
+        with pytest.raises(ValueError):
+            doppler_filterbank(small_cube, window="hamming8")
+
+    def test_training_matrices_shape(self, small_cube):
+        tm = training_matrices(small_cube, 6, 64, 32)
+        assert tm.shape == (6, 64, 32)
+        assert tm.dtype == np.complex64
+
+    def test_training_dof_limit(self, small_cube):
+        with pytest.raises(ShapeError):
+            training_matrices(small_cube, 2, 64, 33)
+
+
+class TestAdaptiveWeights:
+    def test_unit_gain_constraint(self, small_cube):
+        tm = training_matrices(small_cube, 4, 64, 32)
+        s = space_time_steering(4, 8, 0.1, 0.25)
+        w = qr_adaptive_weights(tm, s, fast_math=False)
+        gains = np.einsum("bd,d->b", w.weights.conj(), s)
+        np.testing.assert_allclose(gains, 1.0, atol=1e-4)
+
+    def test_matches_covariance_mvdr(self, small_cube):
+        tm = training_matrices(small_cube, 1, 128, 32).astype(np.complex128)
+        s = space_time_steering(4, 8, 0.1, 0.25).astype(np.complex128)
+        w = qr_adaptive_weights(tm, s, fast_math=False).weights[0]
+        x = tm[0]
+        cov = np.einsum("md,me->de", x, x.conj()) / x.shape[0]
+        ref = np.linalg.solve(cov, s)
+        ref /= np.conj(np.vdot(ref, s))
+        np.testing.assert_allclose(w, ref, rtol=1e-6, atol=1e-8)
+
+    def test_nulls_jammer(self, small_cube):
+        # The adapted pattern must suppress the jammer direction by
+        # orders of magnitude relative to the look direction.
+        tm = training_matrices(small_cube, 1, 128, 32)
+        look = space_time_steering(4, 8, 0.1, 0.25)
+        jam = spatial_steering(4, 0.4)
+        w = qr_adaptive_weights(tm, look, fast_math=False).weights[0]
+        # Jammer subspace: spatial signature across all Doppler.
+        jam_gain = 0.0
+        for d in np.linspace(-0.5, 0.5, 8, endpoint=False):
+            v = space_time_steering(4, 8, 0.4, d)
+            jam_gain = max(jam_gain, abs(np.vdot(w, v)))
+        assert jam_gain < 0.2  # look gain is exactly 1
+
+    def test_precomputed_r_accepted(self, small_cube):
+        from repro.kernels.batched import qr_factor
+
+        tm = training_matrices(small_cube, 2, 64, 32)
+        s = space_time_steering(4, 8, 0.1, 0.25)
+        r = qr_factor(tm.copy(), fast_math=False).r()
+        direct = qr_adaptive_weights(tm, s, fast_math=False)
+        viaR = qr_adaptive_weights(tm, s, fast_math=False, r=r)
+        np.testing.assert_allclose(direct.weights, viaR.weights, rtol=1e-4)
+
+    def test_shape_validation(self, small_cube):
+        tm = training_matrices(small_cube, 2, 64, 32)
+        with pytest.raises(ShapeError):
+            qr_adaptive_weights(tm, np.ones(31, dtype=np.complex64))
+        with pytest.raises(ShapeError):
+            qr_adaptive_weights(tm[:, :16, :], np.ones(32, dtype=np.complex64))
+
+
+class TestPipeline:
+    def test_adaptive_beats_unadapted(self):
+        res = run_pipeline(RadarScenario(channels=4, pulses=8, ranges=256))
+        assert res.improvement_db > 10
+
+    def test_target_injection(self, small_cube):
+        bumped = inject_target(small_cube, 0.1, 0.2, 50.0, range_gate=100)
+        diff = np.abs(bumped.data - small_cube.data)
+        assert diff[:, :, 100].min() > 0
+        assert diff[:, :, :100].max() == 0
+
+
+class TestTableVII:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return [run_stap_case(c, numeric_batch=2) for c in RT_STAP_CASES]
+
+    def test_gpu_beats_mkl_everywhere(self, rows):
+        for row in rows:
+            assert row.speedup > 1.5, row.case.label
+
+    def test_speedup_ordering_matches_paper(self, rows):
+        # Paper: 25x (80x16) > 3.6x (192x96) > 2.8x (240x66).
+        by_label = {r.case.label: r.speedup for r in rows}
+        assert by_label["RT_STAP 80x16"] > by_label["Imagine 192x96"]
+        assert by_label["Imagine 192x96"] > by_label["RT_STAP 240x66"]
+
+    def test_80x16_speedup_band(self, rows):
+        # Paper: 25x; accept a broad band around it.
+        s = rows[0].speedup
+        assert 10 < s < 40
+
+    def test_tall_cases_speedup_band(self, rows):
+        # Paper: 2.8x and 3.6x; accept 1.5-8x.
+        for row in rows[1:]:
+            assert 1.5 < row.speedup < 8, row.case.label
+
+    def test_methods_match_paper(self, rows):
+        # 80x16 fits one block; the others go through tiling.
+        assert rows[0].method == "one-problem-per-block"
+        assert rows[1].method.startswith("tiled")
+        assert rows[2].method.startswith("tiled")
+
+    def test_r_factors_returned(self, rows):
+        for row in rows:
+            assert row.r.shape[-1] == row.case.cols
+            assert np.isfinite(row.r).all()

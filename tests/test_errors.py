@@ -1,0 +1,65 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    LaunchConfigurationError,
+    RegisterFileOverflowError,
+    ReproError,
+    ResourceError,
+    ShapeError,
+    SharedMemoryOverflowError,
+    SingularMatrixError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            LaunchConfigurationError,
+            RegisterFileOverflowError,
+            ResourceError,
+            ShapeError,
+            SharedMemoryOverflowError,
+            SingularMatrixError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_overflows_are_resource_errors(self):
+        assert issubclass(RegisterFileOverflowError, ResourceError)
+        assert issubclass(SharedMemoryOverflowError, ResourceError)
+
+    def test_value_error_compatibility(self):
+        # Callers using plain ValueError handlers still catch config and
+        # shape problems.
+        assert issubclass(LaunchConfigurationError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(ResourceError, ValueError)
+
+    def test_singular_is_arithmetic_error(self):
+        assert issubclass(SingularMatrixError, ArithmeticError)
+
+
+class TestOneHandlerCatchesEverything:
+    def test_kernel_errors_catchable_as_repro_error(self):
+        import numpy as np
+
+        from repro.kernels.batched import gauss_jordan_solve
+
+        with pytest.raises(ReproError):
+            gauss_jordan_solve(
+                np.zeros((1, 2, 3), dtype=np.float32),
+                np.zeros((1, 2), dtype=np.float32),
+            )
+
+    def test_launch_errors_catchable_as_repro_error(self):
+        from repro.gpu import QUADRO_6000, occupancy
+
+        with pytest.raises(ReproError):
+            occupancy(QUADRO_6000, 0, 8)
+
+    def test_resource_errors_catchable_as_repro_error(self):
+        from repro.gpu import QUADRO_6000, SharedMemory
+
+        with pytest.raises(ReproError):
+            SharedMemory(QUADRO_6000, words=10**9)
