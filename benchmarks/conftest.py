@@ -5,6 +5,13 @@ regenerated tables/series).  Every benchmark regenerates one table or
 figure of the paper via the experiment registry and records headline
 numbers in ``extra_info`` so the saved benchmark JSON doubles as the
 reproduction record.
+
+Pass ``--json PATH`` to additionally append one flat metrics record per
+benchmark to a JSON-array file via :mod:`repro.observe.export` -- the
+repo's accumulating ``BENCH_*.json`` perf trajectory::
+
+    pytest benchmarks/bench_fig9_per_block.py --benchmark-only \
+        --json BENCH_fig9.json
 """
 
 import pytest
@@ -12,9 +19,21 @@ import pytest
 from repro.reporting import run_experiment
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="append each benchmark's regenerated data to this JSON file "
+        "via the repro.observe metrics exporter",
+    )
+
+
 @pytest.fixture
-def regenerate(benchmark):
+def regenerate(benchmark, request):
     """Run one experiment under the benchmark timer and print its report."""
+    state = {}
 
     def _run(experiment_id: str, **kwargs):
         result = benchmark.pedantic(
@@ -23,8 +42,33 @@ def regenerate(benchmark):
             iterations=1,
             warmup_rounds=0,
         )
+        state["experiment_id"] = experiment_id
+        state["result"] = result
         print()
         print(result.report)
         return result
 
-    return _run
+    yield _run
+
+    json_path = request.config.getoption("--json")
+    if json_path and state:
+        from repro.observe.export import metrics_record, write_metrics
+
+        stats = {}
+        if benchmark.stats is not None:  # populated after pedantic() ran
+            stats = {
+                "mean_s": benchmark.stats.stats.mean,
+                "min_s": benchmark.stats.stats.min,
+                "rounds": benchmark.stats.stats.rounds,
+            }
+        write_metrics(
+            json_path,
+            metrics_record(
+                name=request.node.name,
+                metrics=state["result"].data,
+                experiment_id=state["experiment_id"],
+                title=state["result"].title,
+                extra_info=dict(benchmark.extra_info),
+                timing=stats,
+            ),
+        )

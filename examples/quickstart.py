@@ -7,9 +7,17 @@ This walks the library's main surfaces in one sitting:
    register-resident one-problem-per-block QR (the paper's headline
    workload) and verify the numerics,
 2. compare the engine-measured throughput against the paper's analytic
-   model (Table VI) and against the MKL-like CPU baseline,
+   model (Table VI) and against the MKL-like CPU baseline, with the
+   per-term model-vs-measured attribution table,
 3. let the dispatcher pick the best approach for a few other workloads.
+
+Set ``REPRO_TRACE=trace.json`` to run the whole walkthrough under the
+event tracer and write a Chrome ``trace_event`` file (open it at
+chrome://tracing or https://ui.perfetto.dev) -- see
+docs/observability.md.
 """
+
+import os
 
 import numpy as np
 
@@ -24,10 +32,27 @@ from repro.kernels.batched import (
 from repro.kernels.device import per_block_qr
 from repro.microbench import calibrate
 from repro.model import predict_per_block
+from repro.observe import attribute_launch, format_attribution, tracing
 from repro.reporting import format_table
 
 
 def main() -> None:
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        from repro.observe import write_chrome_trace
+
+        with tracing() as tracer:
+            _walkthrough()
+        written = write_chrome_trace(tracer, trace_path)
+        print(
+            f"\nWrote {len(tracer.events)} trace events to {written} "
+            "(open in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    else:
+        _walkthrough()
+
+
+def _walkthrough() -> None:
     batch, n = 5000, 56
 
     # --- 1. Factor (numerics are computed for a sample of the batch;
@@ -44,10 +69,18 @@ def main() -> None:
     # --- 2. Measured vs modeled vs CPU. --------------------------------
     params = calibrate()
     measured = result.launch.throughput_gflops(batch)
-    predicted = predict_per_block(params, "qr", n).gflops
+    prediction = predict_per_block(params, "qr", n)
+    predicted = prediction.gflops
     from repro.approaches import CpuLapackApproach
 
     mkl = CpuLapackApproach().gflops(Workload.square("qr", n, batch))
+
+    # Where do the cycles go, term by term?  (Eq. 2 vs the engine.)
+    print()
+    print(format_attribution(attribute_launch(
+        params, result.launch, label=f"{n}x{n} per-block QR",
+        prediction=prediction,
+    )))
     print()
     print(format_table(
         ["source", "GFLOP/s"],

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.approaches",
     "repro.tiled",
     "repro.stap",
+    "repro.observe",
     "repro.reporting",
     "repro.errors",
 ]
@@ -29,6 +30,9 @@ Public surface of every package, generated from ``__all__`` and the first
 docstring line of each export.  Regenerate with::
 
     python scripts/generate_api_md.py
+
+Narrative guides: [model derivations](model.md) --
+[observability (tracing, counters, attribution)](observability.md).
 """
 
 

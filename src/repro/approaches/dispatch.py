@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
+from ..observe.tracer import current_tracer
 from .base import Approach, Workload
 from .baselines import CpuLapackApproach, CublasStreamsApproach, HybridBlockedApproach
 from .per_block import PerBlockApproach
@@ -49,7 +50,13 @@ def default_approaches() -> list[Approach]:
 def rank_approaches(
     work: Workload, approaches: Sequence[Approach] | None = None
 ) -> list[Ranking]:
-    """All applicable approaches, fastest first."""
+    """All applicable approaches, fastest first.
+
+    Throughput ties are broken by approach name so the ranking -- and any
+    trace events derived from it -- is deterministic regardless of the
+    order the candidates were supplied in.
+    """
+    tracer = current_tracer()
     candidates = approaches if approaches is not None else default_approaches()
     ranked = [
         Ranking(approach=a, gflops=a.gflops(work))
@@ -58,7 +65,23 @@ def rank_approaches(
     ]
     if not ranked:
         raise ValueError(f"no approach supports workload {work}")
-    return sorted(ranked, key=lambda r: r.gflops, reverse=True)
+    ranked.sort(key=lambda r: (-r.gflops, r.name))
+    if tracer is not None:
+        with tracer.span(
+            "dispatch.rank", "dispatch", kind=work.kind, m=work.m, n=work.n,
+            batch=work.batch, complex=work.complex_dtype,
+        ):
+            for position, entry in enumerate(ranked):
+                tracer.instant(
+                    "dispatch.candidate", "dispatch", approach=entry.name,
+                    gflops=entry.gflops, rank=position,
+                )
+            tracer.counters.add("dispatch.rankings")
+            tracer.instant(
+                "dispatch.winner", "dispatch", approach=ranked[0].name,
+                gflops=ranked[0].gflops,
+            )
+    return ranked
 
 
 def best_approach(

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Literal
 
+from ..observe.tracer import current_tracer
 from .device import DeviceSpec
 from .dram import DramModel, DramTimings
 from .l2cache import L1Cache, L2Cache
@@ -124,7 +125,7 @@ class MemorySystem:
                 tlb_hits += tlb_hit
             addr = (addr + stride_bytes) % array_bytes
 
-        return ChaseResult(
+        result = ChaseResult(
             stride_words=stride_words,
             hops=measured,
             avg_latency_cycles=total / measured,
@@ -133,6 +134,28 @@ class MemorySystem:
             row_hit_rate=row_hits / measured,
             tlb_hit_rate=tlb_hits / measured,
         )
+        tracer = current_tracer()
+        if tracer is not None:
+            c = tracer.counters
+            c.add("mem.chase_hops", measured)
+            c.add("mem.l1_hits", l1_hits)
+            c.add("mem.l1_misses", measured - l1_hits)
+            c.add("mem.l2_hits", l2_hits)
+            c.add("mem.l2_misses", measured - l1_hits - l2_hits)
+            c.add("mem.dram_row_hits", row_hits)
+            c.add("mem.dram_row_misses", measured - row_hits)
+            c.add("mem.tlb_hits", tlb_hits)
+            c.add("mem.tlb_misses", measured - tlb_hits)
+            tracer.complete(
+                "memory.chase", "memory", dur=total,
+                stride_words=stride_words, hops=measured,
+                avg_latency_cycles=result.avg_latency_cycles,
+                l1_hit_rate=result.l1_hit_rate,
+                l2_hit_rate=result.l2_hit_rate,
+                row_hit_rate=result.row_hit_rate,
+                tlb_hit_rate=result.tlb_hit_rate,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Bandwidth (Table II)
@@ -142,12 +165,19 @@ class MemorySystem:
     ) -> float:
         """Sustained bytes/second for the given streaming pattern."""
         if kind == "read":
-            return self.dram.read_bandwidth()
-        if kind == "copy":
-            return self.dram.copy_bandwidth()
-        if kind == "memcpy":
-            return self.dram.memcpy_bandwidth()
-        raise ValueError(f"unknown stream kind: {kind!r}")
+            bw = self.dram.read_bandwidth()
+        elif kind == "copy":
+            bw = self.dram.copy_bandwidth()
+        elif kind == "memcpy":
+            bw = self.dram.memcpy_bandwidth()
+        else:
+            raise ValueError(f"unknown stream kind: {kind!r}")
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "memory.stream_bandwidth", "memory", kind=kind, bytes_per_s=bw
+            )
+        return bw
 
     # ------------------------------------------------------------------
     # Per-block transfer cost (Table V, Figure 9's DRAM term)

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import SharedMemoryOverflowError
+from ..observe.tracer import add_counter
 from .device import DeviceSpec
 
 __all__ = ["SharedMemory", "conflict_degree"]
@@ -115,4 +116,7 @@ class SharedMemory:
             )
         if degree < 1:
             raise ValueError("conflict degree must be >= 1")
+        add_counter("shared.warp_accesses")
+        if degree > 1:
+            add_counter("shared.bank_replays", degree - 1)
         return self.device.shared_latency + (degree - 1)

@@ -34,10 +34,13 @@ Cost model (this repo's "measured"):
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager
 from typing import Iterator, Literal, Optional
 
 import numpy as np
 
+from ..observe.counters import CounterRegistry
+from ..observe.tracer import current_tracer
 from .clock import CycleBreakdown, CycleClock
 from .device import DeviceSpec
 from .instructions import InstructionCosts, costs_for
@@ -70,6 +73,11 @@ class LaunchResult:
     breakdown: CycleBreakdown
     phase_totals: dict
     flops_per_block: float
+    #: Per-launch hardware-event counts (flop groups, shared
+    #: transactions, syncs, ...) -- the attribution layer's input.
+    counters: Optional[CounterRegistry] = None
+    #: Threads per block of the launch (alpha_sync lookup key).
+    threads: int = 0
 
     @property
     def seconds_per_block(self) -> float:
@@ -131,6 +139,31 @@ class BlockEngine:
         self._shared_words = 0
         self._shared_arrays: list[SharedMemory] = []
         self._useful_flops = 0.0
+        # The tracer is bound at construction: engines are created one
+        # per launch, inside any `tracing()` scope that should observe
+        # them, and a per-charge thread-local lookup is too hot.
+        self._tracer = current_tracer()
+        # Hardware-event counts for this launch, always collected.  The
+        # hot path pays only scalar `+=` on these slots; the registry the
+        # attribution layer consumes (`self.counters`) is materialized
+        # once from them.  The heavyweight event *tracing* stays opt-in
+        # via repro.observe.tracing().
+        self._n_flop_groups = 0
+        self._flop_thread_ops = 0.0
+        self._spill_accesses = 0.0
+        self._overhead_events = 0
+        self._div_count = 0
+        self._div_cycles = 0.0
+        self._sqrt_count = 0
+        self._sqrt_cycles = 0.0
+        self._n_shared_groups = 0
+        self._shared_transactions = 0.0
+        self._shared_replays = 0.0
+        self._shared_writes = 0.0
+        self._n_sync = 0
+        self._global_transfers = 0
+        self._global_bytes = 0.0
+        self._measurement_reads = 0
 
     # ------------------------------------------------------------------
     # Resources
@@ -159,11 +192,15 @@ class BlockEngine:
 
     # ------------------------------------------------------------------
     # Cost charges
+    #
+    # Every charge method accumulates its hardware-event counts as plain
+    # scalar `+=` on the engine (the always-on path) and only touches the
+    # tracer -- mirroring counts into its stage-scoped registry and
+    # emitting a timeline event -- when one is active on this thread.
+    # The un-traced hot path must stay within noise of the pre-
+    # instrumentation engine, so no registry, no dict, no extra property
+    # reads here.
     # ------------------------------------------------------------------
-    def _overhead(self, events: int = 1) -> None:
-        if self.account_overhead and events > 0:
-            self.clock.charge(OVERHEAD_PER_EVENT * events, "overhead")
-
     def charge_flops(
         self,
         ops_per_thread: float,
@@ -179,32 +216,84 @@ class BlockEngine:
         """
         if ops_per_thread < 0:
             raise ValueError("negative op count")
-        self.clock.charge(
-            ops_per_thread * self.costs.fma * self.precision_factor, "compute"
-        )
+        tracer = self._tracer
+        start = self.clock.now if tracer is not None else 0.0
+        issue_ops = ops_per_thread * self.precision_factor
+        self.clock.charge(issue_ops * self.costs.fma, "compute")
+        self._n_flop_groups += 1
+        self._flop_thread_ops += ops_per_thread
+        spill_accesses = 0.0
         if count_spill and self.registers.spills:
-            accesses = 2.0 * ops_per_thread * self.registers.spill_fraction
-            self.clock.charge(accesses * SPILL_ACCESS_CYCLES, "overhead")
-        self._useful_flops += (
+            spill_accesses = 2.0 * ops_per_thread * self.registers.spill_fraction
+            self.clock.charge(spill_accesses * SPILL_ACCESS_CYCLES, "overhead")
+            self._spill_accesses += spill_accesses
+        useful = (
             useful_flops if useful_flops is not None else ops_per_thread * self.threads
         )
-        self._overhead()
+        self._useful_flops += useful
+        if self.account_overhead:
+            self.clock.charge(OVERHEAD_PER_EVENT, "overhead")
+            self._overhead_events += 1
+        if tracer is not None:
+            c = tracer.counters
+            c.add("flops.groups", 1)
+            c.add("flops.per_thread_ops", ops_per_thread)
+            c.add("flops.issue_ops", issue_ops)
+            c.add("flops.useful", useful)
+            if spill_accesses:
+                c.add("spill.accesses", spill_accesses)
+            if self.account_overhead:
+                c.add("overhead.events", 1)
+            tracer.complete(
+                "charge_flops", "engine", ts=start, dur=self.clock.now - start,
+                ops_per_thread=ops_per_thread,
+            )
 
     def charge_div(self, count: int = 1, useful_flops: Optional[float] = None) -> None:
         fast = self.fast_math and self.precision_factor == 1
-        self.clock.charge(
-            count * self.costs.div(fast) * self.precision_factor, "compute"
-        )
+        tracer = self._tracer
+        start = self.clock.now if tracer is not None else 0.0
+        cycles = count * self.costs.div(fast) * self.precision_factor
+        self.clock.charge(cycles, "compute")
+        self._div_count += count
+        self._div_cycles += cycles
         self._useful_flops += useful_flops if useful_flops is not None else count
-        self._overhead()
+        if self.account_overhead:
+            self.clock.charge(OVERHEAD_PER_EVENT, "overhead")
+            self._overhead_events += 1
+        if tracer is not None:
+            c = tracer.counters
+            c.add("div.count", count)
+            c.add("div.cycles", cycles)
+            if self.account_overhead:
+                c.add("overhead.events", 1)
+            tracer.complete(
+                "charge_div", "engine", ts=start, dur=self.clock.now - start,
+                count=count,
+            )
 
     def charge_sqrt(self, count: int = 1, useful_flops: Optional[float] = None) -> None:
         fast = self.fast_math and self.precision_factor == 1
-        self.clock.charge(
-            count * self.costs.sqrt(fast) * self.precision_factor, "compute"
-        )
+        tracer = self._tracer
+        start = self.clock.now if tracer is not None else 0.0
+        cycles = count * self.costs.sqrt(fast) * self.precision_factor
+        self.clock.charge(cycles, "compute")
+        self._sqrt_count += count
+        self._sqrt_cycles += cycles
         self._useful_flops += useful_flops if useful_flops is not None else count
-        self._overhead()
+        if self.account_overhead:
+            self.clock.charge(OVERHEAD_PER_EVENT, "overhead")
+            self._overhead_events += 1
+        if tracer is not None:
+            c = tracer.counters
+            c.add("sqrt.count", count)
+            c.add("sqrt.cycles", cycles)
+            if self.account_overhead:
+                c.add("overhead.events", 1)
+            tracer.complete(
+                "charge_sqrt", "engine", ts=start, dur=self.clock.now - start,
+                count=count,
+            )
 
     def charge_shared(
         self, words_per_thread: float, degree: int = 1, writes: bool = False
@@ -212,13 +301,45 @@ class BlockEngine:
         """Charge ``words_per_thread`` dependent shared accesses."""
         if words_per_thread < 0:
             raise ValueError("negative word count")
+        tracer = self._tracer
+        start = self.clock.now if tracer is not None else 0.0
         per_access = self.device.shared_latency + (degree - 1)
         self.clock.charge(words_per_thread * per_access, "shared")
-        self._overhead()
+        self._n_shared_groups += 1
+        self._shared_transactions += words_per_thread
+        if degree > 1:
+            self._shared_replays += words_per_thread * (degree - 1)
+        if writes:
+            self._shared_writes += words_per_thread
+        if self.account_overhead:
+            self.clock.charge(OVERHEAD_PER_EVENT, "overhead")
+            self._overhead_events += 1
+        if tracer is not None:
+            c = tracer.counters
+            c.add("shared.transactions", words_per_thread)
+            if degree > 1:
+                c.add("shared.bank_replays", words_per_thread * (degree - 1))
+            if writes:
+                c.add("shared.writes", words_per_thread)
+            if self.account_overhead:
+                c.add("overhead.events", 1)
+            tracer.complete(
+                "charge_shared", "engine", ts=start, dur=self.clock.now - start,
+                words=words_per_thread, degree=degree,
+            )
 
     def sync(self) -> None:
         """Charge one ``__syncthreads`` at this block's thread count."""
+        tracer = self._tracer
+        start = self.clock.now if tracer is not None else 0.0
         self.clock.charge(self.device.sync_latency(self.threads), "sync")
+        self._n_sync += 1
+        if tracer is not None:
+            tracer.counters.add("sync.count", 1)
+            tracer.complete(
+                "sync", "engine", ts=start, dur=self.clock.now - start,
+                threads=self.threads,
+            )
 
     def charge_global(
         self,
@@ -226,24 +347,113 @@ class BlockEngine:
         kind: Literal["read", "copy", "memcpy"] = "copy",
     ) -> None:
         """Charge a DRAM transfer, contended by all resident blocks."""
+        tracer = self._tracer
+        start = self.clock.now if tracer is not None else 0.0
         resident = self.occupancy.blocks_per_chip
         cycles = self.memory.block_transfer_cycles(bytes_per_block, resident, kind=kind)
         self.clock.charge(cycles, "global")
+        self._global_transfers += 1
+        self._global_bytes += bytes_per_block
+        if tracer is not None:
+            c = tracer.counters
+            c.add("global.transfers", 1)
+            c.add("global.bytes", bytes_per_block)
+            tracer.complete(
+                "charge_global", "engine", ts=start, dur=self.clock.now - start,
+                bytes=bytes_per_block, kind=kind, resident_blocks=resident,
+            )
 
     def charge_measurement(self) -> None:
         """Charge the ``clock()``-readout overhead around a timed phase."""
         if self.account_overhead:
             self.clock.charge(MEASUREMENT_OVERHEAD, "overhead")
+            self._measurement_reads += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.counters.add("measurement.reads", 1)
 
+    @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Label subsequent charges for per-phase breakdowns (Figure 8)."""
-        return self.clock.phase(name)
+        """Label subsequent charges for per-phase breakdowns (Figure 8).
+
+        When a tracer is active the phase additionally becomes a trace
+        span and a counter-registry stage, so per-phase event totals ride
+        along with the per-phase cycle totals.
+        """
+        tracer = self._tracer
+        start = self.clock.now
+        if tracer is None:
+            with self.clock.phase(name):
+                yield
+            return
+        with self.clock.phase(name), tracer.counters.stage(name):
+            yield
+        tracer.complete(
+            f"phase:{name}", "phase", ts=start, dur=self.clock.now - start
+        )
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    @property
+    def counters(self) -> CounterRegistry:
+        """This launch's hardware-event counts as a registry.
+
+        Materialized from the engine's scalar accumulators on each read;
+        grab it once (or via :attr:`LaunchResult.counters`) rather than
+        per event.
+        """
+        c = CounterRegistry()
+        groups = self._n_flop_groups
+        if groups:
+            c.add_aggregate("flops.groups", groups, groups)
+            c.add_aggregate("flops.per_thread_ops", self._flop_thread_ops, groups)
+            c.add_aggregate(
+                "flops.issue_ops",
+                self._flop_thread_ops * self.precision_factor,
+                groups,
+            )
+        if self._useful_flops:
+            c.add_aggregate("flops.useful", self._useful_flops, groups or 1)
+        if self._spill_accesses:
+            c.add_aggregate("spill.accesses", self._spill_accesses)
+        if self._overhead_events:
+            c.add_aggregate(
+                "overhead.events", self._overhead_events, self._overhead_events
+            )
+        if self._div_count:
+            c.add_aggregate("div.count", self._div_count, self._div_count)
+            c.add_aggregate("div.cycles", self._div_cycles, self._div_count)
+        if self._sqrt_count:
+            c.add_aggregate("sqrt.count", self._sqrt_count, self._sqrt_count)
+            c.add_aggregate("sqrt.cycles", self._sqrt_cycles, self._sqrt_count)
+        if self._n_shared_groups:
+            c.add_aggregate(
+                "shared.transactions",
+                self._shared_transactions,
+                self._n_shared_groups,
+            )
+        if self._shared_replays:
+            c.add_aggregate("shared.bank_replays", self._shared_replays)
+        if self._shared_writes:
+            c.add_aggregate("shared.writes", self._shared_writes)
+        if self._n_sync:
+            c.add_aggregate("sync.count", self._n_sync, self._n_sync)
+        if self._global_transfers:
+            c.add_aggregate(
+                "global.transfers", self._global_transfers, self._global_transfers
+            )
+            c.add_aggregate(
+                "global.bytes", self._global_bytes, self._global_transfers
+            )
+        if self._measurement_reads:
+            c.add_aggregate(
+                "measurement.reads", self._measurement_reads, self._measurement_reads
+            )
+        return c
+
     def result(self, flops_per_block: Optional[float] = None) -> LaunchResult:
-        return LaunchResult(
+        launch = LaunchResult(
             device=self.device,
             occupancy=self.occupancy,
             cycles=self.clock.now,
@@ -252,4 +462,15 @@ class BlockEngine:
             flops_per_block=(
                 flops_per_block if flops_per_block is not None else self._useful_flops
             ),
+            counters=self.counters,
+            threads=self.threads,
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                "launch.result", "engine",
+                cycles=launch.cycles, threads=self.threads,
+                flops_per_block=launch.flops_per_block,
+                **{f"cycles.{k}": v for k, v in launch.breakdown.items()},
+            )
+        return launch

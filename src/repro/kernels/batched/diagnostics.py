@@ -19,10 +19,15 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ShapeError
+from ...observe.tracer import current_tracer
 from .trsm import solve_lower, solve_upper
 from .validate import as_batch, check_square_batch
 
-__all__ = ["lu_growth_factor", "condition_estimate"]
+__all__ = ["lu_growth_factor", "condition_estimate", "GROWTH_WARN_THRESHOLD"]
+
+#: Growth beyond this is a strong "should have pivoted" signal -- benign
+#: (diagonally dominant) inputs provably stay at or below 2.
+GROWTH_WARN_THRESHOLD = 8.0
 
 
 def lu_growth_factor(a: np.ndarray, lu: np.ndarray) -> np.ndarray:
@@ -45,7 +50,29 @@ def lu_growth_factor(a: np.ndarray, lu: np.ndarray) -> np.ndarray:
     u_max = np.abs(upper).reshape(upper.shape[0], -1).max(axis=1)
     with np.errstate(invalid="ignore", divide="ignore"):
         growth = u_max / np.maximum(a_max, np.finfo(np.float64).tiny)
-    return np.where(np.isfinite(growth), growth, np.inf)
+    growth = np.where(np.isfinite(growth), growth, np.inf)
+
+    # Numerical health rides the same observability path as performance:
+    # when a tracer is active, the batch's growth statistics land in the
+    # counter registry (and the attribution/metrics exporters pick them
+    # up like any other counter family).
+    tracer = current_tracer()
+    if tracer is not None:
+        finite = growth[np.isfinite(growth)]
+        c = tracer.counters
+        c.observe("numerics.lu_growth", growth)
+        c.add("numerics.lu_growth_problems", growth.size)
+        c.add(
+            "numerics.lu_growth_warnings",
+            float((growth > GROWTH_WARN_THRESHOLD).sum()),
+        )
+        tracer.instant(
+            "numerics.lu_growth", "numerics",
+            problems=int(growth.size),
+            max=float(finite.max()) if finite.size else float("inf"),
+            warnings=int((growth > GROWTH_WARN_THRESHOLD).sum()),
+        )
+    return growth
 
 
 def condition_estimate(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..gpu.device import DeviceSpec, QUADRO_6000
 from ..gpu.instructions import costs_for
 from ..model.parameters import ModelParameters
+from ..observe.tracer import current_tracer, span
 from .global_bandwidth import measure_global_bandwidth
 from .global_latency import plateau_latency
 from .shared_bandwidth import measure_shared_bandwidth
@@ -36,18 +37,37 @@ def measure_fma_latency(device: DeviceSpec, chain: int = 256) -> float:
 
 def calibrate(device: DeviceSpec = QUADRO_6000) -> ModelParameters:
     """Measure every Table-IV parameter on ``device``."""
-    shared_bw = measure_shared_bandwidth(device)
-    global_bw = measure_global_bandwidth(device)
-    shared_lat = measure_shared_latency(device)
-    global_lat = plateau_latency(device)
-    sync = measure_sync_latency(device, threads=64)
-    gamma = measure_fma_latency(device)
-    return ModelParameters(
-        device=device,
-        alpha_glb=global_lat,
-        global_bandwidth=global_bw.copy_bandwidth,
-        alpha_sh=shared_lat.latency_cycles,
-        shared_bandwidth=shared_bw.total_bandwidth,
-        alpha_sync=sync,
-        gamma=gamma,
-    )
+    with span("calibrate", "microbench", device=device.name):
+        with span("calibrate.shared_bandwidth", "microbench"):
+            shared_bw = measure_shared_bandwidth(device)
+        with span("calibrate.global_bandwidth", "microbench"):
+            global_bw = measure_global_bandwidth(device)
+        with span("calibrate.shared_latency", "microbench"):
+            shared_lat = measure_shared_latency(device)
+        with span("calibrate.global_latency", "microbench"):
+            global_lat = plateau_latency(device)
+        with span("calibrate.sync_latency", "microbench"):
+            sync = measure_sync_latency(device, threads=64)
+        with span("calibrate.fma_latency", "microbench"):
+            gamma = measure_fma_latency(device)
+        params = ModelParameters(
+            device=device,
+            alpha_glb=global_lat,
+            global_bandwidth=global_bw.copy_bandwidth,
+            alpha_sh=shared_lat.latency_cycles,
+            shared_bandwidth=shared_bw.total_bandwidth,
+            alpha_sync=sync,
+            gamma=gamma,
+        )
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "calibrate.parameters", "microbench",
+                alpha_glb=params.alpha_glb,
+                global_bandwidth=params.global_bandwidth,
+                alpha_sh=params.alpha_sh,
+                shared_bandwidth=params.shared_bandwidth,
+                alpha_sync=params.alpha_sync,
+                gamma=params.gamma,
+            )
+    return params

@@ -1,0 +1,89 @@
+"""Observability for the simulated GPU stack.
+
+Three layers, all zero-dependency and off-by-default:
+
+* **event tracing** (:mod:`repro.observe.tracer`) -- a thread-local,
+  ring-buffer-backed structured tracer that the block engine, memory
+  system, dispatch ranking, microbenchmarks, and the STAP pipeline emit
+  into when (and only when) one is activated with :func:`tracing`;
+* **hardware counters** (:mod:`repro.observe.counters`) -- FLOP groups,
+  shared/global transactions, bank-conflict replays, syncs, spill
+  accesses, cache and DRAM-row hits, aggregated per launch and per
+  pipeline stage;
+* **attribution** (:mod:`repro.observe.attribution`) -- the measured
+  counters mapped back onto the Eq. 1/Eq. 2 model terms, with a per-term
+  residual table that makes the Figure-8 "overhead wedge" a first-class
+  artifact.
+
+Exporters (:mod:`repro.observe.export`) write Chrome ``trace_event``
+JSON (chrome://tracing, Perfetto) and flat metrics records for the
+benchmark trajectory.  See ``docs/observability.md`` for a walkthrough.
+"""
+
+from .counters import CounterRegistry, CounterStat
+from .tracer import (
+    DEFAULT_CAPACITY,
+    Event,
+    Span,
+    Tracer,
+    add_counter,
+    current_tracer,
+    instant,
+    observe_counter,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "CounterStat",
+    "DEFAULT_CAPACITY",
+    "Event",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "current_tracer",
+    "instant",
+    "observe_counter",
+    "set_tracer",
+    "span",
+    "tracing",
+    # lazily loaded (see __getattr__): attribution + exporters
+    "TermAttribution",
+    "AttributionReport",
+    "attribute_launch",
+    "format_attribution",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_record",
+    "read_metrics",
+    "write_metrics",
+]
+
+#: Attribution pulls in the model layer and exporters pull in json/numpy;
+#: both are loaded on first access so that importing the engine (which
+#: imports this package for the tracer hooks) stays cycle-free and cheap.
+_LAZY = {
+    "TermAttribution": "attribution",
+    "AttributionReport": "attribution",
+    "attribute_launch": "attribution",
+    "format_attribution": "attribution",
+    "chrome_trace": "export",
+    "write_chrome_trace": "export",
+    "metrics_record": "export",
+    "read_metrics": "export",
+    "write_metrics": "export",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{submodule}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

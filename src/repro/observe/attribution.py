@@ -1,0 +1,278 @@
+"""Model-vs-measured attribution: put names on the Figure-8 wedge.
+
+The paper's Equations 1 and 2 predict a launch's cycles as a sum of
+terms -- ``#msg*alpha``, ``msize*beta``, ``flops*gamma``,
+``nsync*alpha_sync``.  The engine's :class:`~repro.gpu.clock.CycleClock`
+measures the same launch as a sum of categories -- ``compute``,
+``shared``, ``sync``, ``global``, ``overhead``.  The two decompositions
+align one-to-one, so any model/measurement gap can be attributed *per
+term* instead of inspected as one opaque total:
+
+==================  ==================  =================================
+Eq. 1/2 term        measured category   residual's physical meaning
+==================  ==================  =================================
+``flops*gamma``     ``compute``         pipeline effects the FMA-chain
+                                        calibration missed
+``#msg*alpha_sh``   ``shared``          bank-conflict replays
+``nsync*alpha_sync``  ``sync``          barrier latency vs the Fig. 2 fit
+``msize*beta_glb``  ``global``          DRAM contention overlap (the
+                                        Table-V 0.59 factor)
+``overhead``        ``overhead``        bookkeeping + spills + clock()
+                                        reads -- the Figure 8 wedge; the
+                                        model predicts 0 here by design
+==================  ==================  =================================
+
+:func:`attribute_launch` evaluates each term at the launch's *measured*
+event counts (from the engine's counter registry) and reports predicted
+vs measured cycles with per-term residuals.  Passing the analytic
+:class:`~repro.model.per_block_model.PerBlockPrediction` adds a third
+column -- the a-priori Table-VI estimate -- so the report shows both
+"the model formula at observed counts" and "the model's own counts".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..gpu.simt import LaunchResult
+from ..model.parameters import ModelParameters
+
+__all__ = [
+    "TermAttribution",
+    "AttributionReport",
+    "attribute_launch",
+    "format_attribution",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TermAttribution:
+    """One Eq. 1/Eq. 2 term evaluated against its measured category."""
+
+    #: Model-term label, e.g. ``"flops*gamma"``.
+    term: str
+    #: CycleClock category the term is measured from.
+    category: str
+    #: The raw event count driving the term (threads-relative units).
+    count: float
+    #: Term evaluated at the measured count with Table-IV parameters.
+    eq_cycles: float
+    #: Cycles the engine actually charged under the category.
+    measured_cycles: float
+    #: The analytic model's own a-priori estimate (None when no
+    #: prediction was supplied).
+    model_cycles: Optional[float] = None
+
+    @property
+    def residual(self) -> float:
+        """Measured minus the equation term at measured counts."""
+        return self.measured_cycles - self.eq_cycles
+
+    @property
+    def model_residual(self) -> Optional[float]:
+        """Measured minus the a-priori model estimate."""
+        if self.model_cycles is None:
+            return None
+        return self.measured_cycles - self.model_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributionReport:
+    """Per-term residual table for one launch."""
+
+    label: str
+    threads: int
+    terms: tuple[TermAttribution, ...]
+
+    @property
+    def measured_total(self) -> float:
+        return sum(t.measured_cycles for t in self.terms)
+
+    @property
+    def eq_total(self) -> float:
+        return sum(t.eq_cycles for t in self.terms)
+
+    @property
+    def model_total(self) -> Optional[float]:
+        if any(t.model_cycles is None for t in self.terms):
+            return None
+        return sum(t.model_cycles for t in self.terms)
+
+    @property
+    def residual_total(self) -> float:
+        return self.measured_total - self.eq_total
+
+    def term(self, name: str) -> TermAttribution:
+        for t in self.terms:
+            if t.term == name:
+                return t
+        raise KeyError(f"no term {name!r} in report {self.label!r}")
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready payload (for the metrics exporter)."""
+        return {
+            "label": self.label,
+            "threads": self.threads,
+            "measured_total": self.measured_total,
+            "eq_total": self.eq_total,
+            "residual_total": self.residual_total,
+            "model_total": self.model_total,
+            "terms": [
+                {
+                    "term": t.term,
+                    "category": t.category,
+                    "count": t.count,
+                    "eq_cycles": t.eq_cycles,
+                    "measured_cycles": t.measured_cycles,
+                    "model_cycles": t.model_cycles,
+                    "residual": t.residual,
+                    "model_residual": t.model_residual,
+                }
+                for t in self.terms
+            ],
+        }
+
+
+def attribute_launch(
+    params: ModelParameters,
+    launch: LaunchResult,
+    label: str = "launch",
+    prediction=None,
+) -> AttributionReport:
+    """Build the per-term residual table for an engine launch.
+
+    ``prediction`` is an optional
+    :class:`~repro.model.per_block_model.PerBlockPrediction`; when given,
+    its per-operation totals populate the ``model_cycles`` column.
+    """
+    counters = launch.counters
+    if counters is None:
+        raise ValueError(
+            "launch carries no counter registry; run it on a BlockEngine "
+            "from this version of the library"
+        )
+    breakdown = launch.breakdown
+    device = params.device
+    threads = launch.threads
+
+    model = {}
+    if prediction is not None:
+        model = {
+            "flops*gamma": sum(
+                op.flops_cycles for col in prediction.columns for op in col.ops
+            ),
+            "#msg*alpha_sh": sum(
+                op.shared_cycles for col in prediction.columns for op in col.ops
+            ),
+            "nsync*alpha_sync": sum(
+                op.sync_cycles for col in prediction.columns for op in col.ops
+            ),
+            "msize*beta_glb": prediction.dram_cycles,
+            "overhead": 0.0,
+        }
+
+    issue_ops = counters.value("flops.issue_ops")
+    eq_compute = (
+        issue_ops * params.gamma
+        + counters.value("div.cycles")
+        + counters.value("sqrt.cycles")
+    )
+
+    shared_msgs = counters.value("shared.transactions")
+    eq_shared = shared_msgs * params.alpha_sh
+
+    nsync = counters.value("sync.count")
+    eq_sync = nsync * params.sync_latency(threads)
+
+    # Section V-D's recipe: the block's bytes cost a fair share of the
+    # achieved bandwidth across all resident blocks.  The engine applies
+    # the empirically observed overlap factor instead; the residual is
+    # the overlap benefit.
+    global_bytes = counters.value("global.bytes")
+    resident = launch.occupancy.blocks_per_chip
+    eq_global = device.seconds_to_cycles(
+        global_bytes * resident * params.beta_glb
+    )
+
+    terms = (
+        TermAttribution(
+            term="flops*gamma",
+            category="compute",
+            count=issue_ops,
+            eq_cycles=eq_compute,
+            measured_cycles=breakdown.get("compute", 0.0),
+            model_cycles=model.get("flops*gamma"),
+        ),
+        TermAttribution(
+            term="#msg*alpha_sh",
+            category="shared",
+            count=shared_msgs,
+            eq_cycles=eq_shared,
+            measured_cycles=breakdown.get("shared", 0.0),
+            model_cycles=model.get("#msg*alpha_sh"),
+        ),
+        TermAttribution(
+            term="nsync*alpha_sync",
+            category="sync",
+            count=nsync,
+            eq_cycles=eq_sync,
+            measured_cycles=breakdown.get("sync", 0.0),
+            model_cycles=model.get("nsync*alpha_sync"),
+        ),
+        TermAttribution(
+            term="msize*beta_glb",
+            category="global",
+            count=global_bytes,
+            eq_cycles=eq_global,
+            measured_cycles=breakdown.get("global", 0.0),
+            model_cycles=model.get("msize*beta_glb"),
+        ),
+        TermAttribution(
+            term="overhead",
+            category="overhead",
+            count=counters.value("overhead.events")
+            + counters.value("spill.accesses"),
+            eq_cycles=0.0,
+            measured_cycles=breakdown.get("overhead", 0.0),
+            model_cycles=model.get("overhead"),
+        ),
+    )
+    return AttributionReport(label=label, threads=threads, terms=terms)
+
+
+def format_attribution(report: AttributionReport) -> str:
+    """Render the residual table as plain text (repro.reporting style)."""
+    from ..reporting.tables import format_table
+
+    with_model = report.model_total is not None
+    headers = ["term", "count", "Eq. cycles", "measured", "residual"]
+    if with_model:
+        headers.insert(3, "model cycles")
+    rows = []
+    for t in report.terms:
+        row = [
+            t.term,
+            f"{t.count:,.0f}",
+            f"{t.eq_cycles:,.0f}",
+            f"{t.measured_cycles:,.0f}",
+            f"{t.residual:+,.0f}",
+        ]
+        if with_model:
+            row.insert(3, f"{t.model_cycles:,.0f}")
+        rows.append(row)
+    total_row = [
+        "TOTAL",
+        "",
+        f"{report.eq_total:,.0f}",
+        f"{report.measured_total:,.0f}",
+        f"{report.residual_total:+,.0f}",
+    ]
+    if with_model:
+        total_row.insert(3, f"{report.model_total:,.0f}")
+    rows.append(total_row)
+    return format_table(
+        headers, rows,
+        title=f"Model-vs-measured attribution: {report.label} "
+        f"({report.threads} threads)",
+    )

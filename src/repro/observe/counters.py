@@ -1,0 +1,191 @@
+"""Hardware-event counter registry.
+
+The engine and the instrumented subsystems report raw event *counts*
+(FLOP groups, shared transactions, bank-conflict replays, syncs, spill
+accesses, DRAM row hits/misses, cache hits...) into a
+:class:`CounterRegistry`.  Counters are the quantities the paper's
+Equations 1 and 2 multiply by the Table-IV latencies, so a registry
+snapshot is exactly the input the attribution layer
+(:mod:`repro.observe.attribution`) needs to evaluate the model against a
+measured launch.
+
+A registry aggregates three ways at once:
+
+* **flat** -- every ``add`` lands under its counter name;
+* **per stage** -- inside a ``with registry.stage("doppler"):`` scope the
+  same adds are also credited to the active stage, giving the
+  per-pipeline-stage totals the STAP pipeline reports;
+* **statistics** -- each counter tracks total, event count, and maximum,
+  so value-like observations (e.g. LU element growth) ride the same path
+  as pure counts.
+
+The registry is plain dictionaries and floats: cheap enough that the
+:class:`~repro.gpu.simt.BlockEngine` keeps one per launch unconditionally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+__all__ = ["CounterStat", "CounterRegistry"]
+
+
+@dataclasses.dataclass
+class CounterStat:
+    """Running statistics of one counter."""
+
+    total: float = 0.0
+    count: int = 0
+    maximum: float = float("-inf")
+
+    def add(self, value: float, events: int = 1) -> None:
+        self.total += value
+        self.count += events
+        if value > self.maximum:
+            self.maximum = value
+
+    def as_dict(self) -> dict:
+        return {"total": self.total, "count": self.count, "max": self.maximum}
+
+
+class CounterRegistry:
+    """Named event counters with optional per-stage aggregation."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, CounterStat] = {}
+        self._stage_stack: list[str] = []
+        self._by_stage: Dict[str, Dict[str, CounterStat]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` under ``name`` (and the active stage)."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = CounterStat()
+        stat.add(value)
+        if self._stage_stack:
+            stage = self._by_stage.setdefault(self._stage_stack[-1], {})
+            sstat = stage.get(name)
+            if sstat is None:
+                sstat = stage[name] = CounterStat()
+            sstat.add(value)
+
+    def observe(self, name: str, values) -> None:
+        """Record a batch of value observations in one update.
+
+        Unlike repeated :meth:`add` calls this is O(1) in Python work for
+        an array: total/count/max are folded with NumPy.
+        """
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        finite = arr[np.isfinite(arr)]
+        if finite.size < arr.size:
+            self.add(name + ".nonfinite", float(arr.size - finite.size))
+        if finite.size == 0:
+            return
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = CounterStat()
+        stat.total += float(finite.sum())
+        stat.count += int(finite.size)
+        peak = float(finite.max())
+        if peak > stat.maximum:
+            stat.maximum = peak
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Credit all adds inside the body to pipeline stage ``name``."""
+        self._stage_stack.append(name)
+        try:
+            yield
+        finally:
+            self._stage_stack.pop()
+
+    def add_aggregate(
+        self,
+        name: str,
+        total: float,
+        events: int = 1,
+        maximum: Optional[float] = None,
+    ) -> None:
+        """Install a pre-aggregated statistic in one update.
+
+        Hot producers (the SIMT engine) accumulate plain scalars during a
+        launch and ingest them here once at the end, instead of paying a
+        registry update per hardware event.  ``maximum`` is recorded only
+        when the producer actually tracked it.
+        """
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = CounterStat()
+        stat.total += total
+        stat.count += int(events)
+        if maximum is not None and maximum > stat.maximum:
+            stat.maximum = maximum
+
+    def merge(self, other: "CounterRegistry", prefix: str = "") -> None:
+        """Fold ``other``'s flat totals into this registry."""
+        for name, stat in other._stats.items():
+            dest = self._stats.get(prefix + name)
+            if dest is None:
+                dest = self._stats[prefix + name] = CounterStat()
+            dest.total += stat.total
+            dest.count += stat.count
+            if stat.maximum > dest.maximum:
+                dest.maximum = stat.maximum
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, default: float = 0.0) -> float:
+        stat = self._stats.get(name)
+        return stat.total if stat is not None else default
+
+    def count(self, name: str) -> int:
+        stat = self._stats.get(name)
+        return stat.count if stat is not None else 0
+
+    def maximum(self, name: str, default: float = float("nan")) -> float:
+        stat = self._stats.get(name)
+        return stat.maximum if stat is not None and stat.count else default
+
+    def mean(self, name: str, default: float = float("nan")) -> float:
+        stat = self._stats.get(name)
+        if stat is None or stat.count == 0:
+            return default
+        return stat.total / stat.count
+
+    def names(self) -> list[str]:
+        return sorted(self._stats)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``{name: total}`` view (sorted for stable output)."""
+        return {name: self._stats[name].total for name in sorted(self._stats)}
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Full per-counter statistics view."""
+        return {name: self._stats[name].as_dict() for name in sorted(self._stats)}
+
+    def stages(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage ``{stage: {name: total}}`` totals."""
+        return {
+            stage: {name: stat.total for name, stat in sorted(counters.items())}
+            for stage, counters in self._by_stage.items()
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v.total:g}" for k, v in sorted(self._stats.items()))
+        return f"CounterRegistry({parts})"

@@ -1,0 +1,145 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat metrics dumps.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- the tracer's ring
+  buffer as a Chrome ``trace_event`` document.  Open it at
+  ``chrome://tracing`` or https://ui.perfetto.dev to scrub through a
+  launch's phases and charges on a timeline.  Timestamps are simulated
+  cycles/ticks rendered as trace microseconds.
+* :func:`metrics_record` / :func:`write_metrics` -- a flat JSON record
+  per run, appended to a JSON-array file.  The ``benchmarks/`` harness
+  uses this (``--json PATH``) to accumulate a ``BENCH_*.json`` perf
+  trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_record",
+    "write_metrics",
+    "read_metrics",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce NumPy scalars/arrays and NaNs into JSON-safe values."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, float) and (value != value or value in (
+        float("inf"), float("-inf")
+    )):
+        return None
+    return value
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The tracer's events as a Chrome ``trace_event`` JSON object."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for ev in tracer.events:
+        entry: dict = {
+            "name": ev.name,
+            "cat": ev.category,
+            "ph": ev.ph,
+            "ts": float(ev.ts),
+            "pid": 0,
+            "tid": 0,
+        }
+        if ev.ph == "X":
+            entry["dur"] = float(ev.dur)
+        if ev.ph == "i":
+            entry["s"] = "t"  # instant scope: thread
+        if ev.args:
+            entry["args"] = _jsonable(ev.args)
+        events.append(entry)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated cycles (1 trace us = 1 cycle/tick)",
+            "dropped_events": tracer.dropped,
+            "counters": _jsonable(tracer.counters.as_dict()),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: Path | str, process_name: str = "repro"
+) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name)) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Flat metrics records
+# ----------------------------------------------------------------------
+def metrics_record(
+    name: str,
+    metrics: dict,
+    tracer: Optional[Tracer] = None,
+    **meta: Any,
+) -> dict:
+    """One flat, JSON-safe metrics record.
+
+    ``metrics`` is the payload proper (series, scalars, nested dicts all
+    fine); ``meta`` adds identifying fields (git rev, size, batch...).
+    Passing the active tracer folds its counter totals in.
+    """
+    record: dict = {"name": str(name)}
+    record.update(_jsonable(meta))
+    record["metrics"] = _jsonable(metrics)
+    if tracer is not None:
+        record["counters"] = _jsonable(tracer.counters.as_dict())
+        record["dropped_events"] = tracer.dropped
+    return record
+
+
+def read_metrics(path: Path | str) -> list[dict]:
+    """All records accumulated at ``path`` (empty list if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    loaded = json.loads(path.read_text())
+    if not isinstance(loaded, list):
+        raise ValueError(f"{path} does not hold a JSON array of records")
+    return loaded
+
+
+def write_metrics(path: Path | str, record: dict) -> Path:
+    """Append ``record`` to the JSON-array file at ``path``."""
+    path = Path(path)
+    records = read_metrics(path)
+    records.append(_jsonable(record))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,5 +1,10 @@
 """Experiment registry and plain-text reporting."""
 
+from ..observe.attribution import (
+    AttributionReport,
+    attribute_launch,
+    format_attribution,
+)
 from .export import export_experiment, to_csv, to_json
 from .experiments import (
     EXPERIMENTS,
@@ -21,4 +26,7 @@ __all__ = [
     "format_comparison",
     "format_series",
     "format_table",
+    "AttributionReport",
+    "attribute_launch",
+    "format_attribution",
 ]

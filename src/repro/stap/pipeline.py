@@ -15,6 +15,7 @@ import dataclasses
 
 import numpy as np
 
+from ..observe.tracer import instant, span
 from .beamforming import AdaptiveWeights, qr_adaptive_weights
 from .datacube import (
     DataCube,
@@ -65,33 +66,46 @@ def run_pipeline(
     sc = scenario or RadarScenario()
     dof = sc.channels * sc.pulses
     rows = training_rows or max(2 * dof, 3 * dof // 2)
-    cube = generate_datacube(sc)
-    target_gate = sc.ranges // 2
-    cube = inject_target(
-        cube, target_angle, target_doppler, target_amplitude, target_gate
-    )
+    with span("stap.pipeline", "stap", channels=sc.channels, pulses=sc.pulses,
+              ranges=sc.ranges, segments=segments):
+        with span("stap.simulate", "stap"):
+            cube = generate_datacube(sc)
+            target_gate = sc.ranges // 2
+            cube = inject_target(
+                cube, target_angle, target_doppler, target_amplitude, target_gate
+            )
 
-    # Train on target-free segments (simple cell exclusion: segments are
-    # cut before target injection would matter -- we reuse the clean cube
-    # statistics by training away from the target gate).
-    training = training_matrices(
-        generate_datacube(sc), segments, rows, dof
-    )
-    steering = space_time_steering(sc.channels, sc.pulses, target_angle, target_doppler)
-    weights = qr_adaptive_weights(training, steering, fast_math=fast_math)
+        # Train on target-free segments (simple cell exclusion: segments
+        # are cut before target injection would matter -- we reuse the
+        # clean cube statistics by training away from the target gate).
+        with span("stap.training", "stap", rows=rows, dof=dof):
+            training = training_matrices(
+                generate_datacube(sc), segments, rows, dof
+            )
+        steering = space_time_steering(
+            sc.channels, sc.pulses, target_angle, target_doppler
+        )
+        with span("stap.weights", "stap", segments=segments):
+            weights = qr_adaptive_weights(training, steering, fast_math=fast_math)
 
-    # Score at the target gate with the first segment's weights.
-    w = weights.weights[0]
-    snapshot = cube.snapshots()[target_gate]
-    interference = np.delete(cube.snapshots(), target_gate, axis=0)
+        # Score at the target gate with the first segment's weights.
+        with span("stap.score", "stap"):
+            w = weights.weights[0]
+            snapshot = cube.snapshots()[target_gate]
+            interference = np.delete(cube.snapshots(), target_gate, axis=0)
 
-    def sinr(wvec: np.ndarray) -> float:
-        signal = np.abs(np.vdot(wvec, snapshot)) ** 2
-        noise = np.mean(np.abs(interference @ wvec.conj()) ** 2)
-        return float(signal / noise)
+            def sinr(wvec: np.ndarray) -> float:
+                signal = np.abs(np.vdot(wvec, snapshot)) ** 2
+                noise = np.mean(np.abs(interference @ wvec.conj()) ** 2)
+                return float(signal / noise)
 
-    adapted = sinr(w)
-    unadapted = sinr(steering / np.linalg.norm(steering) ** 2)
+            adapted = sinr(w)
+            unadapted = sinr(steering / np.linalg.norm(steering) ** 2)
+        instant(
+            "stap.result", "stap", adapted_gain=adapted,
+            unadapted_gain=unadapted,
+            improvement_db=float(10 * np.log10(adapted / unadapted)),
+        )
     return StapPipelineResult(
         weights=weights,
         scenario=sc,

@@ -1,0 +1,52 @@
+"""Dispatcher determinism and trace instrumentation."""
+
+from repro.approaches import Workload, rank_approaches
+from repro.approaches.base import Approach
+from repro.observe import tracing
+
+
+class _Fixed(Approach):
+    """Stub approach with a pinned throughput."""
+
+    def __init__(self, name: str, gflops: float):
+        self.name = name
+        self._gflops = gflops
+
+    def supports(self, work: Workload) -> bool:
+        return True
+
+    def gflops(self, work: Workload) -> float:
+        return self._gflops
+
+
+WORK = Workload.square("qr", 16, 100)
+
+
+class TestTieBreak:
+    def test_equal_gflops_order_by_name(self):
+        ranked = rank_approaches(WORK, [_Fixed("b", 50.0), _Fixed("a", 50.0)])
+        assert [r.name for r in ranked] == ["a", "b"]
+
+    def test_order_independent_of_input_order(self):
+        approaches = [_Fixed("z", 50.0), _Fixed("m", 50.0), _Fixed("a", 50.0)]
+        forward = rank_approaches(WORK, approaches)
+        backward = rank_approaches(WORK, list(reversed(approaches)))
+        assert [r.name for r in forward] == [r.name for r in backward] == [
+            "a", "m", "z",
+        ]
+
+    def test_throughput_still_dominates(self):
+        ranked = rank_approaches(WORK, [_Fixed("a", 10.0), _Fixed("z", 99.0)])
+        assert [r.name for r in ranked] == ["z", "a"]
+
+
+class TestDispatchTracing:
+    def test_ranking_emits_candidates_and_winner(self):
+        with tracing() as tracer:
+            rank_approaches(WORK, [_Fixed("a", 10.0), _Fixed("b", 20.0)])
+        names = [e.name for e in tracer.events]
+        assert names.count("dispatch.candidate") == 2
+        assert "dispatch.winner" in names
+        assert tracer.counters.value("dispatch.rankings") == 1
+        winner = next(e for e in tracer.events if e.name == "dispatch.winner")
+        assert winner.args["approach"] == "b"

@@ -1,0 +1,125 @@
+"""Model-vs-measured attribution and launch counter consistency.
+
+The acceptance bar: a traced per-block QR launch must produce an
+attribution report whose per-term measured cycles sum to the launch's
+:class:`~repro.gpu.clock.CycleBreakdown` total within one cycle, with a
+per-term residual against the Eq. 2 prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.batched import random_batch
+from repro.kernels.device import per_block_lu, per_block_qr
+from repro.microbench import calibrate
+from repro.model import predict_per_block
+from repro.observe import attribute_launch, format_attribution, tracing
+
+
+@pytest.fixture(scope="module")
+def params():
+    return calibrate()
+
+
+class TestQrAttribution:
+    @pytest.fixture(scope="class")
+    def traced_qr(self):
+        with tracing():
+            result = per_block_qr(random_batch(2, 56, 56, dtype=np.float32, seed=1))
+        return result
+
+    def test_measured_terms_sum_to_breakdown_total(self, params, traced_qr):
+        launch = traced_qr.launch
+        report = attribute_launch(params, launch, label="qr56")
+        assert report.measured_total == pytest.approx(
+            launch.breakdown.total, abs=1.0
+        )
+
+    def test_every_breakdown_category_is_attributed(self, params, traced_qr):
+        report = attribute_launch(params, traced_qr.launch)
+        covered = {t.category for t in report.terms}
+        assert set(traced_qr.launch.breakdown) <= covered
+
+    def test_residuals_tell_the_figure8_story(self, params, traced_qr):
+        report = attribute_launch(params, traced_qr.launch)
+        # Overhead is measured-only: the analytic model predicts zero.
+        overhead = report.term("overhead")
+        assert overhead.eq_cycles == 0.0
+        assert overhead.measured_cycles > 0.0
+        assert overhead.residual > 0.0
+        # The DRAM term's Eq. 2 fair-share overestimates the engine's
+        # overlap-discounted charge (Table V's 0.59 factor).
+        dram = report.term("msize*beta_glb")
+        assert dram.residual < 0.0
+        # Compute/shared cycles are charged exactly as Eq. 2 prices them.
+        assert report.term("flops*gamma").residual == pytest.approx(0.0, abs=1.0)
+        assert report.term("#msg*alpha_sh").residual == pytest.approx(0.0, abs=1.0)
+
+    def test_prediction_column(self, params, traced_qr):
+        prediction = predict_per_block(params, "qr", 56)
+        report = attribute_launch(
+            params, traced_qr.launch, prediction=prediction
+        )
+        assert report.model_total is not None
+        assert report.model_total > 0.0
+        for term in report.terms:
+            if term.model_cycles is not None:
+                assert term.model_residual is not None
+
+    def test_format_and_to_dict(self, params, traced_qr):
+        report = attribute_launch(params, traced_qr.launch, label="qr56")
+        text = format_attribution(report)
+        assert "qr56" in text and "TOTAL" in text
+        d = report.to_dict()
+        assert d["label"] == "qr56"
+        assert len(d["terms"]) == len(report.terms)
+
+    def test_untraced_launch_has_counters_too(self, params):
+        # The engine's registry is always on; attribution does not
+        # require an active tracer.
+        result = per_block_qr(random_batch(1, 16, 16, dtype=np.float32, seed=0))
+        report = attribute_launch(params, result.launch)
+        assert report.measured_total == pytest.approx(
+            result.launch.breakdown.total, abs=1.0
+        )
+
+
+class TestLuCounterConsistency:
+    """Per-block LU counters must be self-consistent with the clock."""
+
+    @pytest.fixture(scope="class")
+    def lu16(self):
+        with tracing():
+            result = per_block_lu(random_batch(2, 16, 16, dtype=np.float32, seed=0))
+        return result
+
+    def test_sync_count_matches_algorithm(self, lu16):
+        # Unpivoted per-block LU on n=16: three barriers per elimination
+        # step.
+        assert lu16.launch.counters.value("sync.count") == 3 * (16 - 1)
+
+    def test_shared_transactions_at_least_syncs(self, lu16):
+        c = lu16.launch.counters
+        assert c.value("shared.transactions") >= c.value("sync.count")
+
+    def test_clock_total_equals_breakdown_sum(self, lu16):
+        launch = lu16.launch
+        assert launch.cycles == pytest.approx(launch.breakdown.total, abs=1e-6)
+
+    def test_counters_ride_launch_result(self, lu16):
+        c = lu16.launch.counters
+        assert c.value("flops.groups") > 0
+        assert c.value("overhead.events") > 0
+        assert lu16.launch.threads > 0
+
+
+class TestTracedEqualsUntraced:
+    """Tracing must never perturb the simulated cost accounting."""
+
+    def test_identical_cycle_counts(self):
+        batch = random_batch(1, 24, 24, dtype=np.float32, seed=3)
+        plain = per_block_qr(batch)
+        with tracing():
+            traced = per_block_qr(batch)
+        assert traced.launch.cycles == plain.launch.cycles
+        assert dict(traced.launch.breakdown) == dict(plain.launch.breakdown)

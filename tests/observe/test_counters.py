@@ -1,0 +1,71 @@
+"""Counter registry semantics: folds, stages, merges."""
+
+import numpy as np
+import pytest
+
+from repro.observe import CounterRegistry
+
+
+class TestAdd:
+    def test_accumulates_total_count_max(self):
+        c = CounterRegistry()
+        c.add("x", 3.0)
+        c.add("x", 5.0)
+        c.add("x")  # default value=1
+        assert c.value("x") == 9.0
+        assert c.count("x") == 3
+        assert c.maximum("x") == 5.0
+        assert c.mean("x") == pytest.approx(3.0)
+
+    def test_missing_counter_reads_zero(self):
+        c = CounterRegistry()
+        assert c.value("nope") == 0.0
+        assert c.count("nope") == 0
+        assert "nope" not in c
+
+
+class TestObserve:
+    def test_array_fold(self):
+        c = CounterRegistry()
+        c.observe("g", np.array([1.0, 2.0, 4.0]))
+        assert c.value("g") == 7.0
+        assert c.count("g") == 3
+        assert c.maximum("g") == 4.0
+
+    def test_nonfinite_split_out(self):
+        c = CounterRegistry()
+        c.observe("g", np.array([1.0, np.inf, 2.0, np.nan]))
+        assert c.value("g") == 3.0
+        assert c.count("g") == 2
+        assert c.value("g.nonfinite") == 2.0
+
+
+class TestStages:
+    def test_stage_scoping_nests(self):
+        c = CounterRegistry()
+        with c.stage("outer"):
+            c.add("n", 1)
+            with c.stage("inner"):
+                c.add("n", 10)
+        c.add("n", 100)
+        assert c.value("n") == 111.0
+        stages = c.stages()
+        # Adds credit the innermost active stage only.
+        assert stages["outer"]["n"] == 1.0
+        assert stages["inner"]["n"] == 10.0
+
+
+class TestMerge:
+    def test_merge_with_prefix(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        b.add("sync.count", 4)
+        b.add("sync.count", 2)
+        a.merge(b, prefix="block0.")
+        assert a.value("block0.sync.count") == 6.0
+        assert a.count("block0.sync.count") == 2
+
+    def test_snapshot_roundtrip_fields(self):
+        c = CounterRegistry()
+        c.add("x", 2.5)
+        snap = c.snapshot()
+        assert snap["x"] == {"total": 2.5, "count": 1, "max": 2.5}

@@ -1,0 +1,85 @@
+"""Chrome-trace and metrics exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kernels.batched import random_batch
+from repro.kernels.device import per_block_lu
+from repro.observe import (
+    Tracer,
+    chrome_trace,
+    metrics_record,
+    read_metrics,
+    tracing,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+class TestChromeTrace:
+    def test_round_trips_json_with_valid_fields(self, tmp_path):
+        with tracing() as tracer:
+            per_block_lu(random_batch(1, 8, 8, dtype=np.float32, seed=0))
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)
+
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) > 1
+        for ev in events:
+            assert ev["ph"] in ("X", "i", "C", "M")
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+            elif ev["ph"] == "i":
+                assert "ts" in ev and ev["s"] == "t"
+
+    def test_metadata_and_counters_present(self):
+        tracer = Tracer()
+        tracer.instant("mark", "test")
+        tracer.counters.add("sync.count", 4)
+        doc = chrome_trace(tracer, process_name="unit")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "unit"
+        assert doc["otherData"]["counters"]["sync.count"] == 4.0
+        assert doc["otherData"]["dropped_events"] == 0
+
+    def test_event_args_are_jsonable(self):
+        tracer = Tracer()
+        tracer.instant(
+            "np", "test",
+            f32=np.float32(1.5), i64=np.int64(7), bad=float("nan"),
+        )
+        doc = chrome_trace(tracer)
+        args = [e for e in doc["traceEvents"] if e["ph"] == "i"][0]["args"]
+        json.dumps(args)  # must not raise
+        assert args["f32"] == 1.5
+        assert args["i64"] == 7
+        assert args["bad"] is None
+
+
+class TestMetrics:
+    def test_write_appends_to_json_array(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(path, metrics_record("run1", {"gflops": 100.0}))
+        write_metrics(path, metrics_record("run2", {"gflops": 120.0}, tag="x"))
+        records = json.loads(path.read_text())
+        assert [r["name"] for r in records] == ["run1", "run2"]
+        assert records[1]["tag"] == "x"
+        assert records[1]["metrics"]["gflops"] == 120.0
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_metrics(tmp_path / "absent.json") == []
+
+    def test_read_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "an array"}')
+        with pytest.raises(ValueError):
+            read_metrics(path)
+
+    def test_record_can_embed_tracer_counters(self):
+        tracer = Tracer()
+        tracer.counters.add("sync.count", 9)
+        record = metrics_record("r", {"x": 1.0}, tracer=tracer)
+        assert record["counters"]["sync.count"] == 9.0

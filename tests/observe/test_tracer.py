@@ -1,0 +1,165 @@
+"""Tracer core: span nesting, activation, ring buffer, no-op helpers."""
+
+import threading
+
+import pytest
+
+from repro.observe import (
+    Tracer,
+    add_counter,
+    current_tracer,
+    instant,
+    set_tracer,
+    span,
+    tracing,
+)
+
+
+class TestActivation:
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+
+    def test_tracing_installs_and_removes(self):
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_tracing_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert current_tracer() is None
+
+    def test_tracing_accepts_existing_tracer(self):
+        mine = Tracer(capacity=32)
+        with tracing(mine) as tracer:
+            assert tracer is mine
+
+    def test_set_tracer_returns_previous(self):
+        t1 = Tracer()
+        prev = set_tracer(t1)
+        try:
+            assert prev is None
+            assert current_tracer() is t1
+        finally:
+            set_tracer(prev)
+        assert current_tracer() is None
+
+    def test_activation_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["inner"] = current_tracer()
+
+        with tracing():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["inner"] is None
+
+
+class TestSpans:
+    def test_span_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.span("outer", "test"):
+            assert tracer.depth == 1
+            outer = tracer.current_span
+            with tracer.span("inner", "test"):
+                assert tracer.depth == 2
+                assert tracer.current_span is not outer
+            assert tracer.depth == 1
+            assert tracer.current_span is outer
+        assert tracer.depth == 0
+        assert tracer.current_span is None
+
+    def test_span_emits_complete_event_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work", "test", detail=7):
+            pass
+        events = list(tracer.events)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.name == "work"
+        assert ev.ph == "X"
+        assert ev.args["detail"] == 7
+
+    def test_nested_span_events_close_inner_first(self):
+        tracer = Tracer()
+        with tracer.span("outer", "test"):
+            with tracer.span("inner", "test"):
+                pass
+        names = [e.name for e in tracer.events]
+        assert names == ["inner", "outer"]
+
+    def test_span_scopes_counter_stage(self):
+        tracer = Tracer()
+        with tracer.span("stage_a", "test"):
+            tracer.counters.add("hits", 2)
+        tracer.counters.add("hits", 1)
+        assert tracer.counters.value("hits") == 3
+        assert tracer.counters.stages()["stage_a"]["hits"] == 2
+
+
+class TestDisabledTracer:
+    """With no tracer installed the module helpers must be inert."""
+
+    def test_helpers_add_no_events(self):
+        probe = Tracer()
+        with span("ignored", "test"):
+            instant("ignored", "test")
+            add_counter("ignored.counter", 5)
+        assert current_tracer() is None
+        assert len(probe.events) == 0
+
+    def test_engine_runs_clean_without_tracer(self):
+        import numpy as np
+
+        from repro.kernels.batched import random_batch
+        from repro.kernels.device import per_block_lu
+
+        result = per_block_lu(random_batch(2, 8, 8, dtype=np.float32, seed=0))
+        # Per-launch counters still accumulate (always-on registry) ...
+        assert result.launch.counters.value("sync.count") > 0
+        # ... but nothing leaked into a global tracer.
+        assert current_tracer() is None
+
+
+class TestRingBuffer:
+    def test_capacity_caps_memory(self):
+        tracer = Tracer(capacity=8)
+        for i in range(100):
+            tracer.instant(f"e{i}", "test")
+        assert len(tracer.events) == 8
+        assert tracer.dropped == 92
+        # Oldest events are the ones evicted.
+        assert [e.name for e in tracer.events] == [f"e{i}" for i in range(92, 100)]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_resets_events_and_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.instant(f"e{i}", "test")
+        tracer.clear()
+        assert len(tracer.events) == 0
+        assert tracer.dropped == 0
+
+
+class TestTimestamps:
+    def test_tick_clock_is_monotonic(self):
+        tracer = Tracer()
+        tracer.instant("a", "test")
+        tracer.instant("b", "test")
+        a, b = tracer.events
+        assert b.ts > a.ts
+
+    def test_explicit_ts_advances_clock(self):
+        tracer = Tracer()
+        tracer.complete("charge", "engine", ts=1000.0, dur=50.0)
+        tracer.instant("after", "test")
+        charge, after = tracer.events
+        assert charge.ts == 1000.0 and charge.dur == 50.0
+        assert after.ts >= 1050.0
