@@ -1,0 +1,82 @@
+"""Runtime scaling: sharded 4096-problem LU vs the legacy serial launch.
+
+Demonstrates the three guarantees of ``repro.runtime`` on the headline
+batch (4096 matrices, 56x56, single precision):
+
+* the sharded result is bitwise-identical to the serial launch,
+* the runtime is >= 2x faster wall-clock than the legacy unsharded
+  launch (size-aware chunking alone wins on one core via locality;
+  worker processes stack on top where cores exist),
+* a warm calibration cache skips ``calibrate()`` entirely, asserted via
+  the ``calibrate`` trace-span count.
+
+Run with ``pytest benchmarks/bench_runtime_scaling.py --benchmark-only``
+(``--workers N`` to change the pool size, ``--json PATH`` to export).
+"""
+
+import time
+
+import numpy as np
+
+from repro.kernels.batched import diagonally_dominant_batch
+from repro.kernels.device import per_block_lu
+from repro.observe import tracing
+from repro.runtime import BatchRuntime, ProblemBatch
+
+PROBLEMS = 4096
+N = 56
+
+
+def _calibrate_spans(tracer):
+    return [e for e in tracer.events if e.name == "calibrate" and e.ph == "X"]
+
+
+def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
+    matrices = diagonally_dominant_batch(PROBLEMS, N, dtype=np.float32, seed=0)
+    batch = ProblemBatch.single("lu", matrices)
+    cache_dir = tmp_path / "cache"
+
+    # Legacy serial path: one unsharded launch over the whole batch.
+    start = time.perf_counter()
+    serial = per_block_lu(matrices)
+    serial_s = time.perf_counter() - start
+
+    # Cold runtime: calibration runs (exactly one span) and is persisted.
+    cold_runtime = BatchRuntime(workers=runtime_workers, cache_directory=cache_dir)
+    with tracing() as cold_tracer:
+        cold = cold_runtime.run(batch)
+    assert len(_calibrate_spans(cold_tracer)) == 1
+
+    # Warm runtime (fresh instance, same cache dir): no calibrate span.
+    def _warm_run():
+        runtime = BatchRuntime(workers=runtime_workers, cache_directory=cache_dir)
+        with tracing() as tracer:
+            report = runtime.run(batch)
+        return report, tracer
+
+    warm, warm_tracer = benchmark.pedantic(_warm_run, rounds=1, iterations=1)
+    assert len(_calibrate_spans(warm_tracer)) == 0
+    assert any(e.name == "calibrate.cache_hit" for e in warm_tracer.events)
+
+    # Bitwise identity, sharded vs serial.
+    for report in (cold, warm):
+        assert np.array_equal(report.output, serial.output)
+        assert np.array_equal(report.extra, serial.extra)
+
+    speedup = serial_s / warm.wall_s
+    print(
+        f"\nlegacy serial: {serial_s:.2f}s | runtime ({warm.mode}, "
+        f"{warm.workers} workers, {warm.chunks} chunks): {warm.wall_s:.2f}s "
+        f"| speedup {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, (
+        f"runtime speedup {speedup:.2f}x < 2x "
+        f"(serial {serial_s:.2f}s vs {warm.wall_s:.2f}s)"
+    )
+
+    benchmark.extra_info["problems"] = PROBLEMS
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["workers"] = warm.workers
+    benchmark.extra_info["chunks"] = warm.chunks
+    benchmark.extra_info["mode"] = warm.mode
+    benchmark.extra_info["speedup_vs_serial"] = speedup

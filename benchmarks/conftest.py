@@ -28,6 +28,21 @@ def pytest_addoption(parser):
         help="append each benchmark's regenerated data to this JSON file "
         "via the repro.observe metrics exporter",
     )
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker-process count for runtime-backed benchmarks "
+        "(see bench_runtime_scaling.py); 1 forces the serial path",
+    )
+
+
+@pytest.fixture
+def runtime_workers(request):
+    """Pool size requested via ``--workers`` (default 4)."""
+    return request.config.getoption("--workers")
 
 
 @pytest.fixture

@@ -11,8 +11,6 @@ the per-thread approach's modelled throughput.
 
 import numpy as np
 
-from repro.approaches import PerThreadApproach, Workload
-from repro.gpu import QUADRO_6000
 from repro.kernels.batched import batched_matmul, random_batch
 from repro.model import matmul_flops
 from repro.reporting import format_table

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.kernels.batched",
     "repro.kernels.device",
     "repro.approaches",
+    "repro.runtime",
     "repro.tiled",
     "repro.stap",
     "repro.observe",
@@ -32,7 +33,8 @@ docstring line of each export.  Regenerate with::
     python scripts/generate_api_md.py
 
 Narrative guides: [model derivations](model.md) --
-[observability (tracing, counters, attribution)](observability.md).
+[observability (tracing, counters, attribution)](observability.md) --
+[batch runtime (sharded execution, caches, CI gate)](runtime.md).
 """
 
 

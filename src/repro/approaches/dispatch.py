@@ -47,17 +47,55 @@ def default_approaches() -> list[Approach]:
     ]
 
 
+def _from_cache(entry, candidates: Sequence[Approach]) -> list[Ranking] | None:
+    """Rebuild a ranking from cached ``(name, gflops)`` pairs.
+
+    Every cached name must match a candidate; otherwise (a changed
+    approach roster, a stale file) the entry is unusable and the caller
+    re-ranks from scratch.
+    """
+    by_name = {a.name: a for a in candidates}
+    ranked = []
+    for name, gflops in entry:
+        approach = by_name.get(name)
+        if approach is None:
+            return None
+        ranked.append(Ranking(approach=approach, gflops=gflops))
+    return ranked or None
+
+
 def rank_approaches(
-    work: Workload, approaches: Sequence[Approach] | None = None
+    work: Workload,
+    approaches: Sequence[Approach] | None = None,
+    cache=None,
 ) -> list[Ranking]:
     """All applicable approaches, fastest first.
 
     Throughput ties are broken by approach name so the ranking -- and any
     trace events derived from it -- is deterministic regardless of the
     order the candidates were supplied in.
+
+    Pass a :class:`repro.runtime.DispatchCache` as ``cache`` to memoize
+    the decision per ``(op, m, n, batch, complex, device)`` key: a hit
+    skips the modelled-throughput evaluation of every candidate and
+    emits a ``dispatch.cache_hit`` instant instead of the full ranking
+    span.
     """
     tracer = current_tracer()
     candidates = approaches if approaches is not None else default_approaches()
+    if cache is not None:
+        entry = cache.lookup(work)
+        if entry is not None:
+            ranked = _from_cache(entry, candidates)
+            if ranked is not None:
+                if tracer is not None:
+                    tracer.counters.add("dispatch.cache_hits")
+                    tracer.instant(
+                        "dispatch.cache_hit", "dispatch", kind=work.kind,
+                        m=work.m, n=work.n, batch=work.batch,
+                        winner=ranked[0].name,
+                    )
+                return ranked
     ranked = [
         Ranking(approach=a, gflops=a.gflops(work))
         for a in candidates
@@ -81,11 +119,15 @@ def rank_approaches(
                 "dispatch.winner", "dispatch", approach=ranked[0].name,
                 gflops=ranked[0].gflops,
             )
+    if cache is not None:
+        cache.store(work, [(r.name, r.gflops) for r in ranked])
     return ranked
 
 
 def best_approach(
-    work: Workload, approaches: Sequence[Approach] | None = None
+    work: Workload,
+    approaches: Sequence[Approach] | None = None,
+    cache=None,
 ) -> Ranking:
     """The Figure-10 winner for this workload."""
-    return rank_approaches(work, approaches)[0]
+    return rank_approaches(work, approaches, cache=cache)[0]

@@ -1,6 +1,15 @@
 """Batched numerics: the algorithms of Section III, vectorized over the
 problem dimension, plus the motivating-application extensions (batched
-GEMM for speech, Jacobi eigensolver for MRI)."""
+GEMM for speech, Jacobi eigensolver for MRI).
+
+For executing a large batch for real -- sharded across worker processes
+with merged counters and warm calibration caches -- use
+:func:`run_batched` (re-exported from :mod:`repro.runtime`)::
+
+    from repro.kernels.batched import run_batched
+
+    report = run_batched("lu", matrices, workers=4)
+"""
 
 from .alternatives import (
     QrExplicit,
@@ -90,4 +99,17 @@ __all__ = [
     "qr_reconstruction_error",
     "solve_residual",
     "triangular_error",
+    # lazily loaded from repro.runtime (see __getattr__)
+    "run_batched",
 ]
+
+
+def __getattr__(name: str):
+    # The runtime imports the device kernels, which import this package;
+    # loading it on first access keeps the import graph acyclic.
+    if name == "run_batched":
+        from ...runtime.executor import run_batched
+
+        globals()[name] = run_batched
+        return run_batched
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,9 +23,9 @@ import dataclasses
 
 import numpy as np
 
-from ...errors import ShapeError, SingularMatrixError
+from ...errors import SingularMatrixError
 from ._arith import arithmetic_mode
-from .trsm import solve_lower, solve_upper
+from .trsm import solve_lower
 from .validate import as_batch, check_square_batch, check_tall_batch
 
 __all__ = [
@@ -57,10 +57,10 @@ def cholesky_factor(a: np.ndarray, fast_math: bool = True) -> np.ndarray:
     check_square_batch(a)
     mode = arithmetic_mode(fast_math)
     batch, n, _ = a.shape
-    l = np.zeros_like(a)
+    chol = np.zeros_like(a)
     for j in range(n):
         if j:
-            row = l[:, j, :j]
+            row = chol[:, j, :j]
             diag_acc = a[:, j, j].real - np.einsum(
                 "bk,bk->b", row, row.conj()
             ).real
@@ -73,16 +73,16 @@ def cholesky_factor(a: np.ndarray, fast_math: bool = True) -> np.ndarray:
                 f"(column {j})"
             )
         pivot = mode.sqrt(diag_acc.astype(a.real.dtype))
-        l[:, j, j] = pivot.astype(a.dtype)
+        chol[:, j, j] = pivot.astype(a.dtype)
         if j + 1 < n:
             if j:
                 lower = a[:, j + 1 :, j] - np.einsum(
-                    "bik,bk->bi", l[:, j + 1 :, :j], l[:, j, :j].conj()
+                    "bik,bk->bi", chol[:, j + 1 :, :j], chol[:, j, :j].conj()
                 )
             else:
                 lower = a[:, j + 1 :, j]
-            l[:, j + 1 :, j] = mode.divide(lower, pivot[:, None]).astype(a.dtype)
-    return l
+            chol[:, j + 1 :, j] = mode.divide(lower, pivot[:, None]).astype(a.dtype)
+    return chol
 
 
 def cholesky_qr(a: np.ndarray, fast_math: bool = True) -> QrExplicit:
@@ -96,8 +96,8 @@ def cholesky_qr(a: np.ndarray, fast_math: bool = True) -> QrExplicit:
     a = as_batch(a)
     check_tall_batch(a)
     gram = np.einsum("bki,bkj->bij", a.conj(), a)
-    l = cholesky_factor(gram, fast_math=fast_math)
-    r = np.swapaxes(l.conj(), 1, 2)
+    chol = cholesky_factor(gram, fast_math=fast_math)
+    r = np.swapaxes(chol.conj(), 1, 2)
     # Q = A R^{-1}: transpose to R^T Q^T = A^T with lower-triangular R^T.
     qt = solve_lower(np.swapaxes(r, 1, 2), np.swapaxes(a, 1, 2), fast_math=fast_math)
     q = np.swapaxes(qt, 1, 2)

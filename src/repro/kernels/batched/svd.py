@@ -17,7 +17,6 @@ import dataclasses
 
 import numpy as np
 
-from ...errors import ShapeError
 from ._arith import arithmetic_mode
 from .validate import as_batch, check_tall_batch
 

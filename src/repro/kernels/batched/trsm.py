@@ -58,27 +58,27 @@ def solve_upper(r: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.ndar
     return _restore(x, squeeze, unbatch)
 
 
-def solve_lower(l: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.ndarray:
+def solve_lower(lower: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.ndarray:
     """Forward substitution: solve ``L x = b`` with lower-triangular ``L``."""
-    l, x, squeeze, unbatch = _prep(l, b)
+    lower, x, squeeze, unbatch = _prep(lower, b)
     mode = arithmetic_mode(fast_math)
-    n = l.shape[1]
+    n = lower.shape[1]
     for i in range(n):
         if i > 0:
-            x[:, i, :] -= np.einsum("bk,bkr->br", l[:, i, :i], x[:, :i, :])
-        x[:, i, :] = mode.divide(x[:, i, :], l[:, i, i][:, None])
+            x[:, i, :] -= np.einsum("bk,bkr->br", lower[:, i, :i], x[:, :i, :])
+        x[:, i, :] = mode.divide(x[:, i, :], lower[:, i, i][:, None])
     return _restore(x, squeeze, unbatch)
 
 
-def solve_lower_unit(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+def solve_lower_unit(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Forward substitution with an implicit unit diagonal (LU's ``L``).
 
-    The strict lower triangle of ``l`` is used; the diagonal is taken to
-    be 1 (as stored by :func:`repro.kernels.batched.lu.lu_factor`), so no
-    divisions are needed.
+    The strict lower triangle of ``lower`` is used; the diagonal is taken
+    to be 1 (as stored by :func:`repro.kernels.batched.lu.lu_factor`), so
+    no divisions are needed.
     """
-    l, x, squeeze, unbatch = _prep(l, b)
-    n = l.shape[1]
+    lower, x, squeeze, unbatch = _prep(lower, b)
+    n = lower.shape[1]
     for i in range(1, n):
-        x[:, i, :] -= np.einsum("bk,bkr->br", l[:, i, :i], x[:, :i, :])
+        x[:, i, :] -= np.einsum("bk,bkr->br", lower[:, i, :i], x[:, :i, :])
     return _restore(x, squeeze, unbatch)

@@ -30,7 +30,20 @@ from ...gpu.simt import BlockEngine, LaunchResult
 from ...layouts.cyclic2d import Cyclic2D
 from ...model.block_config import BlockConfig, block_config
 
-__all__ = ["BlockKernel", "DeviceKernelResult"]
+__all__ = ["BlockKernel", "DeviceKernelResult", "batch_dot"]
+
+
+def batch_dot(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-problem inner product ``sum_i x[b, i] * y[b, i]``.
+
+    The reduction order must not depend on the batch size: ``np.einsum``
+    picks stride-dependent inner loops whose accumulation order varies
+    with the operands' shapes, so chunking a batch would perturb the
+    last bits of the result.  Multiplying elementwise and reducing along
+    the trailing axis keeps each problem's rounding identical no matter
+    how the batch is sliced.
+    """
+    return (x * y).sum(axis=1)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -16,7 +16,6 @@ from typing import Optional
 
 import numpy as np
 
-from ...errors import SingularMatrixError
 from ...gpu.device import QUADRO_6000, DeviceSpec
 from ...model.block_config import BlockConfig
 from ..batched._arith import arithmetic_mode

@@ -14,7 +14,7 @@ import numpy as np
 from ...gpu.device import QUADRO_6000, DeviceSpec
 from ...model.flops import least_squares_flops
 from ..batched._arith import arithmetic_mode
-from .base import BlockKernel, DeviceKernelResult
+from .base import BlockKernel, DeviceKernelResult, batch_dot
 from .per_block_qr import _factor_columns
 
 __all__ = ["per_block_least_squares"]
@@ -69,7 +69,7 @@ def per_block_least_squares(
         for i in range(n - 1, -1, -1):
             acc = qtb[:, i]
             if i + 1 < n:
-                acc = acc - np.einsum("bk,bk->b", r_mat[:, i, i + 1 :], x[:, i + 1 :])
+                acc = acc - batch_dot(r_mat[:, i, i + 1 :], x[:, i + 1 :])
             x[:, i] = mode.divide(acc, r_mat[:, i, i])
             N = kernel.column_tile_rows(i)
             eng.charge_div(1, useful_flops=credit / 2)

@@ -20,7 +20,7 @@ from ...gpu.device import QUADRO_6000, DeviceSpec
 from ...model.block_config import BlockConfig
 from ...model.flops import qr_flops, qr_flops_complex
 from ..batched._arith import arithmetic_mode
-from .base import BlockKernel, DeviceKernelResult
+from .base import BlockKernel, DeviceKernelResult, batch_dot
 
 __all__ = ["per_block_qr", "per_block_qr_solve"]
 
@@ -105,7 +105,7 @@ def _factor_columns(kernel: BlockKernel, ncols: int) -> np.ndarray:
             wfull = np.zeros((kernel.batch, n), dtype=kernel.dtype)
             for jj in range(j + 1, n):
                 colv = kernel.extract_column(jj, j)
-                wfull[:, jj] = np.einsum("bi,bi->b", vread[:, j:].conj(), colv)
+                wfull[:, jj] = batch_dot(vread[:, j:].conj(), colv)
             eng.charge_shared(N)
             eng.charge_flops(N * N * cost, useful_flops=credit * (m - j) * (n - 1 - j))
             eng.sync()
@@ -211,7 +211,7 @@ def per_block_qr_solve(
         for i in range(n - 1, -1, -1):
             acc = y[:, i]
             if i + 1 < n:
-                acc = acc - np.einsum("bk,bk->b", r_mat[:, i, i + 1 :], x[:, i + 1 :])
+                acc = acc - batch_dot(r_mat[:, i, i + 1 :], x[:, i + 1 :])
             x[:, i] = mode.divide(acc, r_mat[:, i, i])
             N = kernel.column_tile_rows(i)
             eng.charge_div(1, useful_flops=credit / 2)

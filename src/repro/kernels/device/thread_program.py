@@ -257,7 +257,10 @@ class ThreadInterpreter:
             rcp = fastmath.fast_reciprocal
             sqrt = fastmath.fast_sqrt
         else:
-            rcp = lambda x: (1.0 / x).astype(dtype)
+
+            def rcp(x):
+                return (1.0 / x).astype(dtype)
+
             sqrt = np.sqrt
 
         for ins in self.program.instructions:

@@ -28,7 +28,7 @@ from typing import Literal
 
 from ..gpu.instructions import costs_for
 from ..gpu.occupancy import occupancy
-from ..gpu.registers import BASELINE_REGISTERS, registers_for_matrix
+from ..gpu.registers import registers_for_matrix
 from ..model.flops import qr_flops
 from ..model.parameters import ModelParameters
 

@@ -35,8 +35,37 @@ def measure_fma_latency(device: DeviceSpec, chain: int = 256) -> float:
     return total / chain
 
 
-def calibrate(device: DeviceSpec = QUADRO_6000) -> ModelParameters:
-    """Measure every Table-IV parameter on ``device``."""
+def calibrate(device: DeviceSpec = QUADRO_6000, cache=None) -> ModelParameters:
+    """Measure every Table-IV parameter on ``device``.
+
+    Pass a :class:`repro.runtime.CalibrationCache` (or ``True`` for the
+    default one under ``~/.cache/repro``) to make calibration a
+    once-per-device cost: on a warm cache the microbenchmark sweep -- and
+    its ``calibrate`` trace span -- is skipped entirely and the stored
+    parameters are returned, after a ``calibrate.cache_hit`` instant for
+    attribution.  A miss runs the sweep and stores the result.
+    """
+    if cache is not None and cache is not False:
+        if cache is True:
+            from ..runtime.cache import CalibrationCache
+
+            cache = CalibrationCache()
+        cached = cache.load(device)
+        if cached is not None:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.instant(
+                    "calibrate.cache_hit", "microbench", device=device.name
+                )
+            return cached
+        params = _calibrate(device)
+        cache.store(device, params)
+        return params
+    return _calibrate(device)
+
+
+def _calibrate(device: DeviceSpec) -> ModelParameters:
+    """The uncached Section-II sweep."""
     with span("calibrate", "microbench", device=device.name):
         with span("calibrate.shared_bandwidth", "microbench"):
             shared_bw = measure_shared_bandwidth(device)

@@ -54,6 +54,7 @@ __all__ = [
     "AttributionReport",
     "attribute_launch",
     "format_attribution",
+    "atomic_write_text",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_record",
@@ -69,6 +70,7 @@ _LAZY = {
     "AttributionReport": "attribution",
     "attribute_launch": "attribution",
     "format_attribution": "attribution",
+    "atomic_write_text": "export",
     "chrome_trace": "export",
     "write_chrome_trace": "export",
     "metrics_record": "export",

@@ -131,7 +131,13 @@ class CounterRegistry:
             stat.maximum = maximum
 
     def merge(self, other: "CounterRegistry", prefix: str = "") -> None:
-        """Fold ``other``'s flat totals into this registry."""
+        """Fold ``other``'s totals into this registry (stages included).
+
+        Merging is plain addition in iteration order, so folding the
+        per-shard registries of a sharded launch **in submission order**
+        reproduces the serial path's totals exactly -- the invariant the
+        :mod:`repro.runtime` merge layer is tested against.
+        """
         for name, stat in other._stats.items():
             dest = self._stats.get(prefix + name)
             if dest is None:
@@ -140,6 +146,16 @@ class CounterRegistry:
             dest.count += stat.count
             if stat.maximum > dest.maximum:
                 dest.maximum = stat.maximum
+        for stage, counters in other._by_stage.items():
+            dest_stage = self._by_stage.setdefault(stage, {})
+            for name, stat in counters.items():
+                dest = dest_stage.get(prefix + name)
+                if dest is None:
+                    dest = dest_stage[prefix + name] = CounterStat()
+                dest.total += stat.total
+                dest.count += stat.count
+                if stat.maximum > dest.maximum:
+                    dest.maximum = stat.maximum
 
     # ------------------------------------------------------------------
     # Reading

@@ -16,18 +16,43 @@ Two consumers, two formats:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Optional
 
 from .tracer import Tracer
 
 __all__ = [
+    "atomic_write_text",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_record",
     "write_metrics",
     "read_metrics",
 ]
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Write ``text`` to ``path`` via write-temp-then-rename.
+
+    The payload is flushed and fsynced to a sibling temporary file which
+    is then :func:`os.replace`-d over the destination, so a reader (or a
+    killed CI job) only ever sees the old complete file or the new
+    complete file -- never a truncated one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
 
 
 def _jsonable(value: Any) -> Any:
@@ -94,10 +119,9 @@ def write_chrome_trace(
     tracer: Tracer, path: Path | str, process_name: str = "repro"
 ) -> Path:
     """Write the Chrome trace JSON; returns the path written."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer, process_name)) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(chrome_trace(tracer, process_name)) + "\n"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -136,10 +160,15 @@ def read_metrics(path: Path | str) -> list[dict]:
 
 
 def write_metrics(path: Path | str, record: dict) -> Path:
-    """Append ``record`` to the JSON-array file at ``path``."""
+    """Append ``record`` to the JSON-array file at ``path``.
+
+    The read-append-rewrite is atomic (write-temp-then-rename with an
+    fsync): a CI job killed mid-append leaves the previous complete file
+    behind, never a truncated JSON document.
+    """
     path = Path(path)
     records = read_metrics(path)
     records.append(_jsonable(record))
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(records, indent=2, sort_keys=True) + "\n"
+    )

@@ -188,6 +188,37 @@ class Tracer:
         finally:
             handle.end()
 
+    def ingest(self, events, **tags: Any) -> int:
+        """Replay foreign :class:`Event` records into this tracer.
+
+        Used by the sharded runtime to fold each worker's trace back into
+        the launch tracer: every event is re-stamped onto this tracer's
+        clock (shifted so the replay starts "now" and stays monotonic)
+        and tagged with ``tags`` (e.g. ``shard=3``) so merged timelines
+        remain attributable.  Events are replayed in the order given;
+        returns the number ingested.
+        """
+        base = self._ts
+        count = 0
+        for ev in events:
+            args = dict(ev.args) if ev.args else {}
+            if tags:
+                args.update(tags)
+            ts = base + ev.ts
+            self._stamp(ts, ev.dur)
+            self._emit(
+                Event(
+                    name=ev.name,
+                    category=ev.category,
+                    ph=ev.ph,
+                    ts=ts,
+                    dur=ev.dur,
+                    args=args or None,
+                )
+            )
+            count += 1
+        return count
+
     # ------------------------------------------------------------------
     @property
     def depth(self) -> int:

@@ -21,7 +21,7 @@ from ..approaches import (
     Workload,
 )
 from ..gpu.device import QUADRO_6000, DeviceSpec
-from ..kernels.batched import diagonally_dominant_batch, random_batch, rhs_batch
+from ..kernels.batched import diagonally_dominant_batch, random_batch
 from ..kernels.device import per_block_lu, per_block_qr
 from ..layouts import compare_layouts
 from ..microbench import (
@@ -139,7 +139,7 @@ def run_fig1(device: DeviceSpec = QUADRO_6000, hops: int = 512) -> ExperimentRes
     """Figure 1: global latency vs log2(stride)."""
     sweep = sweep_global_latency(device, hops=hops)
     log2 = [s for s, _ in sweep.series()]
-    lats = [l for _, l in sweep.series()]
+    lats = [lat for _, lat in sweep.series()]
     report = format_series(
         log2,
         {"latency (cycles)": lats},

@@ -1,0 +1,55 @@
+"""Batch-execution runtime: sharding, process pools, persistent caches.
+
+The paper's premise is throughput on thousands of small problems at
+once; this package is the layer that actually delivers a batch to the
+machine.  It shards a :class:`ProblemBatch` across a process pool with
+size-aware chunking (:mod:`~repro.runtime.sharding`), merges per-shard
+outputs, hardware counters, and trace events deterministically back into
+one :class:`BatchReport` (:mod:`~repro.runtime.merge`), and keeps two
+persistent caches (:mod:`~repro.runtime.cache`) so calibration runs
+once per device and dispatch rankings are memoized.
+
+Entry points: :func:`run_batched` for one-call use (also re-exported
+from :mod:`repro.kernels.batched`), :class:`BatchRuntime` for configured
+reuse.  See ``docs/runtime.md``.
+"""
+
+from .cache import (
+    CACHE_SCHEMA,
+    CalibrationCache,
+    DispatchCache,
+    cache_dir,
+    device_fingerprint,
+)
+from .executor import BatchRuntime, default_workers, run_batched, supported_ops
+from .merge import BatchReport, ChunkOutcome, GroupResult, merge_outcomes
+from .sharding import (
+    DEFAULT_CHUNK_COST,
+    Chunk,
+    ProblemBatch,
+    ProblemGroup,
+    plan_chunks,
+    problem_cost,
+)
+
+__all__ = [
+    "BatchReport",
+    "BatchRuntime",
+    "CACHE_SCHEMA",
+    "CalibrationCache",
+    "Chunk",
+    "ChunkOutcome",
+    "DEFAULT_CHUNK_COST",
+    "DispatchCache",
+    "GroupResult",
+    "ProblemBatch",
+    "ProblemGroup",
+    "cache_dir",
+    "default_workers",
+    "device_fingerprint",
+    "merge_outcomes",
+    "plan_chunks",
+    "problem_cost",
+    "run_batched",
+    "supported_ops",
+]

@@ -1,0 +1,271 @@
+"""Sharded multi-process batch execution.
+
+:class:`BatchRuntime` turns the serial one-launch-per-batch story into a
+real execution runtime: a :class:`~repro.runtime.sharding.ProblemBatch`
+is split into size-aware chunks, the chunks run on a
+:class:`concurrent.futures.ProcessPoolExecutor`, and the per-chunk
+outputs, hardware counters, and trace events merge back -- in submission
+order -- into a single :class:`~repro.runtime.merge.BatchReport`.
+
+Guarantees the tests pin down:
+
+* **bitwise determinism** -- chunk boundaries never depend on the worker
+  count, every kernel is element-wise independent along the batch axis,
+  and the merge is submission-ordered, so ``workers=4`` returns exactly
+  the bytes ``workers=1`` does;
+* **exact counters** -- merged registries equal the serial path's, by
+  construction (same launches, same fold order);
+* **graceful degradation** -- if the pool cannot be built or a worker
+  dies, the launch falls back to in-process execution with a
+  ``RuntimeWarning`` instead of crashing;
+* **warm caches** -- the runtime's :class:`CalibrationCache` makes
+  :func:`~repro.microbench.calibrate.calibrate` a once-per-device cost
+  and its :class:`DispatchCache` memoizes approach rankings.
+
+The convenience entry point :func:`run_batched` (re-exported from
+:mod:`repro.kernels.batched`) covers the common one-op case::
+
+    report = run_batched("lu", matrices, workers=4)
+    report.output          # (batch, n, n) packed LU, identical to serial
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+import warnings
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..gpu.device import QUADRO_6000, DeviceSpec
+from ..model.parameters import ModelParameters
+from ..observe.tracer import current_tracer, tracing
+from .cache import CalibrationCache, DispatchCache
+from .merge import BatchReport, ChunkOutcome, merge_outcomes
+from .sharding import DEFAULT_CHUNK_COST, ProblemBatch, plan_chunks
+
+__all__ = ["BatchRuntime", "default_workers", "run_batched", "supported_ops"]
+
+
+def _kernel_registry() -> dict:
+    # Deferred: repro.kernels.device pulls in the whole kernel stack.
+    from ..kernels import device as dk
+
+    return {
+        "lu": dk.per_block_lu,
+        "lu_pivot": dk.per_block_lu_pivot,
+        "qr": dk.per_block_qr,
+        "cholesky": dk.per_block_cholesky,
+    }
+
+
+def supported_ops() -> list[str]:
+    """Kernel names :func:`run_batched` accepts."""
+    return sorted(_kernel_registry())
+
+
+def default_workers() -> int:
+    """Pool size when none is requested: the smaller of 4 and the CPUs."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _execute_chunk(
+    op: str, data: np.ndarray, kwargs: dict, traced: bool
+) -> ChunkOutcome:
+    """Run one chunk (in a worker or inline) and package the outcome."""
+    kernel = _kernel_registry().get(op)
+    if kernel is None:
+        raise ValueError(f"unknown batched op {op!r}; supported: {supported_ops()}")
+    start = time.perf_counter()
+    if traced:
+        with tracing() as tracer:
+            result = kernel(data, **kwargs)
+        events = list(tracer.events)
+        registry = tracer.counters
+    else:
+        result = kernel(data, **kwargs)
+        events = []
+        registry = None
+    return ChunkOutcome(
+        output=result.output,
+        extra=result.extra,
+        launch=result.launch,
+        wall_s=time.perf_counter() - start,
+        events=events,
+        registry=registry,
+        pid=os.getpid(),
+    )
+
+
+class BatchRuntime:
+    """Sharded executor with persistent calibration/dispatch caches.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size; ``None`` means :func:`default_workers`, and
+        ``1`` executes the identical chunk plan in-process (the "serial
+        path" every parallel guarantee is defined against).
+    chunk_cost:
+        Per-chunk FLOP budget handed to
+        :func:`~repro.runtime.sharding.plan_chunks`.
+    device:
+        Simulated device kernels run against (also the cache key).
+    use_caches:
+        When ``False``, no cache files are read or written (calibration
+        runs every time and dispatch rankings are not memoized).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` for
+        its negligible startup cost, falling back to the platform
+        default where unavailable.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_cost: float = DEFAULT_CHUNK_COST,
+        device: DeviceSpec = QUADRO_6000,
+        use_caches: bool = True,
+        cache_directory=None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.chunk_cost = float(chunk_cost)
+        self.device = device
+        self.calibration_cache = (
+            CalibrationCache(cache_directory) if use_caches else None
+        )
+        self.dispatch_cache = (
+            DispatchCache(device, directory=cache_directory) if use_caches else None
+        )
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._params: Optional[ModelParameters] = None
+
+    # ------------------------------------------------------------------
+    # Cached decision products
+    # ------------------------------------------------------------------
+    def parameters(self) -> ModelParameters:
+        """Table-IV parameters for this device, calibrating at most once.
+
+        A warm :class:`CalibrationCache` skips the microbenchmark sweep
+        entirely (no ``calibrate`` span is emitted); the result is also
+        memoized on the runtime instance.
+        """
+        if self._params is None:
+            from ..microbench.calibrate import calibrate
+
+            self._params = calibrate(self.device, cache=self.calibration_cache)
+        return self._params
+
+    def rank(self, work):
+        """Approach ranking for ``work`` through the dispatch cache."""
+        from ..approaches.dispatch import rank_approaches
+
+        return rank_approaches(work, cache=self.dispatch_cache)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, batch: ProblemBatch, **kernel_kwargs) -> BatchReport:
+        """Execute ``batch`` and merge everything into one report.
+
+        ``kernel_kwargs`` (e.g. ``fast_math=False``) pass through to
+        every kernel launch.  When a tracer is active in the calling
+        thread, worker-side events and counters are folded back into it
+        with per-chunk ``shard``/``worker`` tags.
+        """
+        kwargs = dict(kernel_kwargs)
+        kwargs.setdefault("device", self.device)
+        chunks = plan_chunks(batch, self.chunk_cost)
+        tracer = current_tracer()
+        traced = tracer is not None
+        payloads = [
+            (
+                batch.groups[chunk.group].op,
+                batch.groups[chunk.group].data[chunk.start : chunk.stop],
+                kwargs,
+                traced,
+            )
+            for chunk in chunks
+        ]
+
+        start = time.perf_counter()
+        outcomes: Optional[list[ChunkOutcome]] = None
+        mode = "serial"
+        if self.workers > 1 and len(chunks) > 1:
+            try:
+                outcomes = self._run_pool(payloads)
+                mode = "process"
+            except Exception as exc:
+                warnings.warn(
+                    f"sharded execution failed ({exc!r}); "
+                    "degrading to serial in-process execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                outcomes = None
+                mode = "serial-fallback"
+        if outcomes is None:
+            outcomes = [_execute_chunk(*payload) for payload in payloads]
+        wall_s = time.perf_counter() - start
+
+        if traced:
+            for chunk, outcome in zip(chunks, outcomes):
+                if outcome.registry is not None:
+                    tracer.counters.merge(outcome.registry)
+                tracer.ingest(outcome.events, shard=chunk.index, worker=outcome.pid)
+            tracer.instant(
+                "runtime.launch",
+                "runtime",
+                chunks=len(chunks),
+                workers=self.workers,
+                mode=mode,
+                problems=batch.total_problems,
+            )
+
+        report = merge_outcomes(
+            batch, chunks, outcomes, workers=self.workers, mode=mode, wall_s=wall_s
+        )
+        report.params = self.parameters()
+        return report
+
+    def _run_pool(self, payloads: list) -> list[ChunkOutcome]:
+        context = multiprocessing.get_context(self.start_method)
+        max_workers = min(self.workers, len(payloads))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        ) as pool:
+            futures = [pool.submit(_execute_chunk, *p) for p in payloads]
+            # Collect in submission order; completion order is irrelevant.
+            return [future.result() for future in futures]
+
+
+def run_batched(
+    op: str,
+    problems: Union[np.ndarray, Sequence[np.ndarray]],
+    runtime: Optional[BatchRuntime] = None,
+    workers: Optional[int] = None,
+    **kernel_kwargs,
+) -> BatchReport:
+    """Factor ``problems`` under kernel ``op`` on a sharded runtime.
+
+    ``problems`` is one ``(batch, m, n)`` array or a sequence of them
+    (mixed sizes -> one group each).  Supply a configured ``runtime`` to
+    reuse its pool settings and caches, or just a ``workers`` count for
+    a throwaway runtime.
+    """
+    if runtime is None:
+        runtime = BatchRuntime(workers=workers)
+    elif workers is not None:
+        raise ValueError("pass either runtime or workers, not both")
+    if isinstance(problems, np.ndarray):
+        batch = ProblemBatch.single(op, problems)
+    else:
+        batch = ProblemBatch.mixed(op, list(problems))
+    return runtime.run(batch, **kernel_kwargs)

@@ -8,7 +8,6 @@ from repro.approaches import (
     feasible_thread_counts,
     tune_block_threads,
 )
-from repro.gpu import QUADRO_6000
 
 
 class TestFeasibility:

@@ -118,8 +118,6 @@ class TestTracing:
         assert clk.events == []
 
     def test_engine_trace_passthrough(self):
-        import numpy as np
-
         from repro.gpu import QUADRO_6000, BlockEngine
 
         eng = BlockEngine(QUADRO_6000, 64, 32, trace=True)

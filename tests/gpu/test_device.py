@@ -1,10 +1,9 @@
 """Device-spec invariants and the Table-I figures."""
 
-import math
 
 import pytest
 
-from repro.gpu import G80, GTX480, QUADRO_6000, DeviceSpec
+from repro.gpu import G80, GTX480, QUADRO_6000
 
 
 class TestQuadro6000TableI:

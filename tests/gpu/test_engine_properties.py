@@ -1,6 +1,5 @@
 """Property tests on the simulator's invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

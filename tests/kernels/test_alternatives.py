@@ -37,19 +37,19 @@ class TestCholesky:
     def test_reconstruction_real(self):
         a = hermitian_batch(4, 10, dtype=np.float64, seed=1)
         spd = a @ np.swapaxes(a, 1, 2) + 10 * np.eye(10)
-        l = cholesky_factor(spd, fast_math=False)
-        np.testing.assert_allclose(l @ np.swapaxes(l.conj(), 1, 2), spd, atol=1e-10)
+        chol = cholesky_factor(spd, fast_math=False)
+        np.testing.assert_allclose(chol @ np.swapaxes(chol.conj(), 1, 2), spd, atol=1e-10)
 
     def test_reconstruction_complex(self):
         a = hermitian_batch(4, 8, dtype=np.complex128, seed=2)
         hpd = a @ np.swapaxes(a.conj(), 1, 2) + 8 * np.eye(8)
-        l = cholesky_factor(hpd, fast_math=False)
-        np.testing.assert_allclose(l @ np.swapaxes(l.conj(), 1, 2), hpd, atol=1e-10)
+        chol = cholesky_factor(hpd, fast_math=False)
+        np.testing.assert_allclose(chol @ np.swapaxes(chol.conj(), 1, 2), hpd, atol=1e-10)
 
     def test_lower_triangular(self):
         spd = np.eye(6, dtype=np.float32)[None] * 4.0
-        l = cholesky_factor(spd)
-        assert triangular_error(l, lower=True) == 0
+        chol = cholesky_factor(spd)
+        assert triangular_error(chol, lower=True) == 0
 
     def test_indefinite_rejected(self):
         a = -np.eye(4, dtype=np.float64)[None]
@@ -59,9 +59,9 @@ class TestCholesky:
     def test_matches_numpy(self):
         a = hermitian_batch(3, 6, dtype=np.float64, seed=3)
         spd = a @ np.swapaxes(a, 1, 2) + 6 * np.eye(6)
-        l = cholesky_factor(spd, fast_math=False)
+        chol = cholesky_factor(spd, fast_math=False)
         ref = np.stack([np.linalg.cholesky(spd[i]) for i in range(3)])
-        np.testing.assert_allclose(l, ref, atol=1e-10)
+        np.testing.assert_allclose(chol, ref, atol=1e-10)
 
 
 class TestWellConditioned:

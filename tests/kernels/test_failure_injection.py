@@ -9,7 +9,6 @@ same batch are untouched.
 """
 
 import numpy as np
-import pytest
 
 from repro.kernels.batched import (
     diagonally_dominant_batch,

@@ -31,21 +31,21 @@ class TestTriangularSolves:
         np.testing.assert_allclose(x, ref, atol=1e-10)
 
     def test_lower_matches_numpy(self):
-        l = np.swapaxes(upper_batch(3, 8, seed=2), 1, 2)
+        low = np.swapaxes(upper_batch(3, 8, seed=2), 1, 2)
         b = random_batch(3, 8, 2, dtype=np.float64, seed=3)
-        x = solve_lower(l, b, fast_math=False)
-        ref = np.stack([np.linalg.solve(l[i], b[i]) for i in range(3)])
+        x = solve_lower(low, b, fast_math=False)
+        ref = np.stack([np.linalg.solve(low[i], b[i]) for i in range(3)])
         np.testing.assert_allclose(x, ref, atol=1e-10)
 
     def test_lower_unit_ignores_diagonal(self):
-        l = np.swapaxes(upper_batch(2, 6, seed=4), 1, 2)
-        unit = l.copy()
+        low = np.swapaxes(upper_batch(2, 6, seed=4), 1, 2)
+        unit = low.copy()
         idx = np.arange(6)
         unit[:, idx, idx] = 1
         b = random_batch(2, 6, 1, dtype=np.float64, seed=5)
         # solve_lower_unit must behave as if the diagonal were 1,
         # regardless of what is stored there.
-        garbage = l.copy()
+        garbage = low.copy()
         garbage[:, idx, idx] = 123.0
         np.testing.assert_allclose(
             solve_lower_unit(garbage, b), solve_lower(unit, b, fast_math=False),

@@ -78,8 +78,8 @@ class TestErrorMetrics:
         assert triangular_error(r) == 0
         r[0, 2, 0] = 0.5
         assert triangular_error(r) == 0.5
-        l = np.tril(np.ones((1, 4, 4)))
-        assert triangular_error(l, lower=True) == 0
+        low = np.tril(np.ones((1, 4, 4)))
+        assert triangular_error(low, lower=True) == 0
 
     def test_solve_residual_relative_to_rhs(self):
         a = np.eye(3)[None]

@@ -8,7 +8,6 @@ from repro.model import (
     I7_2600,
     ModelParameters,
     StreamsModel,
-    qr_flops,
 )
 
 

@@ -10,7 +10,7 @@ class TestFormatTable:
         out = format_table(["a", "bb"], [[1, 2], [333, 4]])
         lines = out.splitlines()
         assert lines[0].startswith("a")
-        assert len({len(l) for l in lines if l}) <= 2  # header/body same width
+        assert len({len(line) for line in lines if line}) <= 2  # header/body same width
 
     def test_title_prepended(self):
         out = format_table(["x"], [[1]], title="T")

@@ -1,0 +1,145 @@
+"""Persistent calibration/dispatch caches: round trips and invalidation."""
+
+import json
+
+
+import repro.runtime.cache as cache_mod
+from repro.approaches import Workload, best_approach, rank_approaches
+from repro.gpu.device import G80, QUADRO_6000
+from repro.microbench import calibrate
+from repro.observe import tracing
+from repro.runtime import CalibrationCache, DispatchCache, device_fingerprint
+
+
+def _calibrate_spans(tracer):
+    return [e for e in tracer.events if e.name == "calibrate" and e.ph == "X"]
+
+
+class TestCalibrationCache:
+    def test_cold_load_is_none(self, tmp_path):
+        assert CalibrationCache(tmp_path).load(QUADRO_6000) is None
+
+    def test_round_trip(self, tmp_path):
+        cache = CalibrationCache(tmp_path)
+        params = calibrate(QUADRO_6000)
+        path = cache.store(QUADRO_6000, params)
+        assert path.exists()
+        loaded = cache.load(QUADRO_6000)
+        assert loaded == params
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = CalibrationCache(tmp_path)
+        cache.store(QUADRO_6000, calibrate(QUADRO_6000))
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_keyed_by_device(self, tmp_path):
+        cache = CalibrationCache(tmp_path)
+        cache.store(QUADRO_6000, calibrate(QUADRO_6000))
+        assert cache.load(G80) is None
+        assert cache.path_for(G80) != cache.path_for(QUADRO_6000)
+
+    def test_invalidated_on_version_change(self, tmp_path, monkeypatch):
+        cache = CalibrationCache(tmp_path)
+        cache.store(QUADRO_6000, calibrate(QUADRO_6000))
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA", cache_mod.CACHE_SCHEMA + 1)
+        assert cache.load(QUADRO_6000) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = CalibrationCache(tmp_path)
+        path = cache.store(QUADRO_6000, calibrate(QUADRO_6000))
+        path.write_text("{ truncated")
+        assert cache.load(QUADRO_6000) is None
+
+    def test_tampered_parameters_are_a_miss(self, tmp_path):
+        cache = CalibrationCache(tmp_path)
+        path = cache.store(QUADRO_6000, calibrate(QUADRO_6000))
+        doc = json.loads(path.read_text())
+        del doc["parameters"]["gamma"]
+        path.write_text(json.dumps(doc))
+        assert cache.load(QUADRO_6000) is None
+
+    def test_fingerprint_tracks_spec_fields(self):
+        import dataclasses
+
+        tweaked = dataclasses.replace(QUADRO_6000, l2_bytes=1024)
+        assert device_fingerprint(tweaked) != device_fingerprint(QUADRO_6000)
+
+
+class TestCalibrateWithCache:
+    def test_cold_measures_then_warm_skips(self, tmp_path):
+        cache = CalibrationCache(tmp_path)
+        with tracing() as cold:
+            measured = calibrate(QUADRO_6000, cache=cache)
+        assert len(_calibrate_spans(cold)) == 1
+
+        with tracing() as warm:
+            loaded = calibrate(QUADRO_6000, cache=cache)
+        assert len(_calibrate_spans(warm)) == 0
+        assert any(e.name == "calibrate.cache_hit" for e in warm.events)
+        assert loaded == measured
+
+    def test_cache_false_always_measures(self, tmp_path):
+        with tracing() as tracer:
+            calibrate(QUADRO_6000, cache=False)
+            calibrate(QUADRO_6000, cache=False)
+        assert len(_calibrate_spans(tracer)) == 2
+
+
+class TestDispatchCache:
+    def work(self):
+        return Workload.square("qr", 56, 5000)
+
+    def test_round_trip_matches_uncached(self, tmp_path):
+        cache = DispatchCache(directory=tmp_path)
+        uncached = rank_approaches(self.work())
+        first = rank_approaches(self.work(), cache=cache)
+        second = rank_approaches(self.work(), cache=cache)
+        names = [r.name for r in uncached]
+        assert [r.name for r in first] == names
+        assert [r.name for r in second] == names
+        assert [r.gflops for r in second] == [r.gflops for r in uncached]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        rank_approaches(self.work(), cache=DispatchCache(directory=tmp_path))
+        fresh = DispatchCache(directory=tmp_path)
+        assert fresh.lookup(self.work()) is not None
+
+    def test_unknown_candidate_names_force_recompute(self, tmp_path):
+        from repro.approaches import PerBlockApproach, PerThreadApproach
+
+        cache = DispatchCache(directory=tmp_path)
+        rank_approaches(self.work(), cache=cache)
+        # A restricted roster no longer contains every cached name: the
+        # entry must not leak approaches the caller did not supply.
+        limited = rank_approaches(
+            self.work(), [PerThreadApproach(), PerBlockApproach()], cache=cache
+        )
+        assert {r.name for r in limited} <= {"per-thread", "per-block"}
+
+    def test_keys_include_batch_and_size(self, tmp_path):
+        cache = DispatchCache(directory=tmp_path)
+        small = Workload.square("qr", 8, 100)
+        big = Workload.square("qr", 56, 100000)
+        assert cache.key(small) != cache.key(big)
+
+    def test_best_approach_accepts_cache(self, tmp_path):
+        cache = DispatchCache(directory=tmp_path)
+        winner = best_approach(self.work(), cache=cache)
+        assert winner.name == best_approach(self.work(), cache=cache).name
+        assert cache.hits == 1
+
+    def test_version_change_invalidates_disk(self, tmp_path, monkeypatch):
+        rank_approaches(self.work(), cache=DispatchCache(directory=tmp_path))
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA", cache_mod.CACHE_SCHEMA + 1)
+        fresh = DispatchCache(directory=tmp_path)
+        assert len(fresh) == 0
+
+    def test_cache_hit_traced(self, tmp_path):
+        cache = DispatchCache(directory=tmp_path)
+        rank_approaches(self.work(), cache=cache)
+        with tracing() as tracer:
+            rank_approaches(self.work(), cache=cache)
+        assert any(e.name == "dispatch.cache_hit" for e in tracer.events)
+        assert tracer.counters.value("dispatch.cache_hits") == 1

@@ -1,0 +1,170 @@
+"""Sharded execution: parity with serial, merged observability, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.batched import diagonally_dominant_batch, random_batch, run_batched
+from repro.kernels.device import per_block_lu, per_block_qr
+from repro.model.flops import lu_flops
+from repro.observe import tracing
+from repro.runtime import BatchRuntime, ProblemBatch, supported_ops
+
+
+def _runtime(tmp_path, **kwargs):
+    kwargs.setdefault("cache_directory", tmp_path / "cache")
+    return BatchRuntime(**kwargs)
+
+
+class TestParity:
+    def test_single_chunk_counters_match_unsharded_launch(self, tmp_path):
+        # One chunk == one launch: the merged registry must equal the
+        # plain kernel's launch counters exactly, not approximately.
+        matrices = diagonally_dominant_batch(24, 12, seed=0)
+        direct = per_block_lu(matrices)
+        runtime = _runtime(tmp_path, workers=1, chunk_cost=1e12)
+        report = runtime.run(ProblemBatch.single("lu", matrices))
+        assert report.chunks == 1
+        assert report.counters.snapshot() == direct.launch.counters.snapshot()
+        assert np.array_equal(report.output, direct.output)
+
+    def test_sharded_output_bitwise_equals_serial(self, tmp_path):
+        matrices = diagonally_dominant_batch(40, 12, seed=1)
+        chunk_cost = lu_flops(12) * 7  # uneven: 7+7+...+5
+        direct = per_block_lu(matrices)
+        serial = _runtime(tmp_path, workers=1, chunk_cost=chunk_cost).run(
+            ProblemBatch.single("lu", matrices)
+        )
+        sharded = _runtime(tmp_path, workers=2, chunk_cost=chunk_cost).run(
+            ProblemBatch.single("lu", matrices)
+        )
+        assert sharded.mode == "process"
+        assert serial.mode == "serial"
+        assert np.array_equal(sharded.output, serial.output)
+        assert np.array_equal(sharded.output, direct.output)
+        assert np.array_equal(sharded.extra, serial.extra)
+        assert sharded.counters.snapshot() == serial.counters.snapshot()
+
+    def test_mixed_size_groups(self, tmp_path):
+        small = diagonally_dominant_batch(12, 6, seed=2)
+        large = diagonally_dominant_batch(9, 20, seed=3)
+        runtime = _runtime(tmp_path, workers=2, chunk_cost=lu_flops(20) * 3)
+        report = runtime.run(ProblemBatch.mixed("lu", [small, large]))
+        assert len(report.results) == 2
+        assert np.array_equal(report.results[0].output, per_block_lu(small).output)
+        assert np.array_equal(report.results[1].output, per_block_lu(large).output)
+        assert report.problems == 21
+
+    def test_qr_parity(self, tmp_path):
+        matrices = random_batch(18, 10, 10, seed=4)
+        direct = per_block_qr(matrices)
+        report = run_batched(
+            "qr",
+            matrices,
+            runtime=_runtime(tmp_path, workers=2, chunk_cost=1e4),
+        )
+        assert np.array_equal(report.output, direct.output)
+        assert np.array_equal(report.extra, direct.extra)
+
+    def test_kernel_kwargs_pass_through(self, tmp_path):
+        matrices = diagonally_dominant_batch(8, 8, seed=5)
+        direct = per_block_lu(matrices, fast_math=False)
+        report = _runtime(tmp_path, workers=1).run(
+            ProblemBatch.single("lu", matrices), fast_math=False
+        )
+        assert np.array_equal(report.output, direct.output)
+
+
+class TestObservability:
+    def test_traced_launch_merges_events_and_counters(self, tmp_path):
+        matrices = diagonally_dominant_batch(30, 10, seed=6)
+        chunk_cost = lu_flops(10) * 10
+        serial_rt = _runtime(tmp_path, workers=1, chunk_cost=chunk_cost)
+        sharded_rt = _runtime(tmp_path, workers=2, chunk_cost=chunk_cost)
+        # Calibrate outside the traced regions so both tracers see the
+        # kernel launches only, not one cold + one warm calibration.
+        serial_rt.parameters()
+        sharded_rt.parameters()
+        with tracing() as serial_tracer:
+            serial_rt.run(ProblemBatch.single("lu", matrices))
+        with tracing() as sharded_tracer:
+            report = sharded_rt.run(ProblemBatch.single("lu", matrices))
+        assert report.mode == "process"
+        shard_tags = {
+            e.args["shard"]
+            for e in sharded_tracer.events
+            if e.args and "shard" in e.args
+        }
+        assert shard_tags == set(range(report.chunks))
+        assert report.chunks > 1
+        assert any(e.name == "runtime.launch" for e in sharded_tracer.events)
+        # Worker registries fold into the launch tracer exactly as the
+        # serial path's do (calibration counters ride along identically).
+        assert sharded_tracer.counters.snapshot() == serial_tracer.counters.snapshot()
+
+    def test_untraced_launch_emits_nothing(self, tmp_path):
+        matrices = diagonally_dominant_batch(8, 8, seed=7)
+        report = _runtime(tmp_path, workers=1).run(ProblemBatch.single("lu", matrices))
+        assert report.counters.value("flops.groups") > 0
+
+    def test_report_summary_is_flat(self, tmp_path):
+        matrices = diagonally_dominant_batch(8, 8, seed=8)
+        report = _runtime(tmp_path, workers=1).run(ProblemBatch.single("lu", matrices))
+        summary = report.summary()
+        assert summary["problems"] == 8
+        assert summary["groups"][0]["op"] == "lu"
+        assert summary["groups"][0]["gflops"] > 0
+
+
+class TestDegradation:
+    def test_worker_failure_degrades_to_serial_with_warning(
+        self, tmp_path, monkeypatch
+    ):
+        def broken_pool(self, payloads):
+            raise OSError("simulated pool failure")
+
+        monkeypatch.setattr(BatchRuntime, "_run_pool", broken_pool)
+        matrices = diagonally_dominant_batch(20, 10, seed=9)
+        runtime = _runtime(tmp_path, workers=4, chunk_cost=lu_flops(10) * 5)
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            report = runtime.run(ProblemBatch.single("lu", matrices))
+        assert report.mode == "serial-fallback"
+        assert np.array_equal(report.output, per_block_lu(matrices).output)
+
+    def test_unknown_op_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown batched op"):
+            _runtime(tmp_path, workers=1).run(
+                ProblemBatch.single("svd", np.eye(4, dtype=np.float32))
+            )
+
+    def test_runtime_and_workers_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="either runtime or workers"):
+            run_batched(
+                "lu",
+                np.eye(4, dtype=np.float32),
+                runtime=_runtime(tmp_path),
+                workers=2,
+            )
+
+    def test_supported_ops_listed(self):
+        assert {"lu", "qr", "cholesky", "lu_pivot"} <= set(supported_ops())
+
+
+class TestRuntimeCaches:
+    def test_run_calibrates_once_per_device(self, tmp_path):
+        matrices = diagonally_dominant_batch(8, 8, seed=10)
+        batch = ProblemBatch.single("lu", matrices)
+        with tracing() as cold:
+            _runtime(tmp_path, workers=1).run(batch)
+        with tracing() as warm:
+            report = _runtime(tmp_path, workers=1).run(batch)
+        cold_spans = [e for e in cold.events if e.name == "calibrate" and e.ph == "X"]
+        warm_spans = [e for e in warm.events if e.name == "calibrate" and e.ph == "X"]
+        assert len(cold_spans) == 1
+        assert len(warm_spans) == 0
+        assert report.params is not None
+
+    def test_caches_disabled(self, tmp_path):
+        runtime = BatchRuntime(workers=1, use_caches=False)
+        assert runtime.calibration_cache is None
+        assert runtime.dispatch_cache is None
+        assert runtime.parameters() is runtime.parameters()

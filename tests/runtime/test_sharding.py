@@ -1,0 +1,98 @@
+"""Shard planning: deterministic, covering, size-aware."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.model.flops import lu_flops, qr_flops
+from repro.runtime import (
+    Chunk,
+    ProblemBatch,
+    ProblemGroup,
+    plan_chunks,
+    problem_cost,
+)
+
+
+def _batch(op="lu", batch=32, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return ProblemBatch.single(op, rng.standard_normal((batch, n, n)))
+
+
+class TestProblemBatch:
+    def test_single_group_shape(self):
+        pb = _batch(batch=12, n=6)
+        assert pb.total_problems == 12
+        assert pb.groups[0].m == pb.groups[0].n == 6
+
+    def test_two_dim_input_promoted(self):
+        group = ProblemGroup("lu", np.eye(4))
+        assert group.data.shape == (1, 4, 4)
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ShapeError):
+            ProblemGroup("lu", np.zeros(5))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemBatch([])
+
+    def test_mixed_builds_one_group_per_array(self):
+        arrays = [np.zeros((4, 6, 6)), np.zeros((9, 10, 10))]
+        pb = ProblemBatch.mixed("qr", arrays)
+        assert [g.batch for g in pb.groups] == [4, 9]
+        assert pb.total_problems == 13
+
+    def test_cost_uses_op_flops(self):
+        assert problem_cost("lu", 8, 8) == lu_flops(8)
+        assert problem_cost("qr", 16, 8) == qr_flops(16, 8)
+        assert problem_cost("mystery", 4, 8) == 4 * 64
+
+
+class TestPlanChunks:
+    def test_covers_batch_contiguously(self):
+        pb = _batch(batch=100, n=8)
+        chunks = plan_chunks(pb, chunk_cost=lu_flops(8) * 7)
+        assert chunks[0].start == 0
+        assert chunks[-1].stop == 100
+        for before, after in zip(chunks, chunks[1:]):
+            assert after.start == before.stop
+        assert sum(c.problems for c in chunks) == 100
+
+    def test_deterministic(self):
+        pb = _batch(batch=64, n=8)
+        assert plan_chunks(pb, 1e5) == plan_chunks(pb, 1e5)
+
+    def test_independent_of_worker_count(self):
+        # Chunk boundaries are a function of the batch and budget only;
+        # nothing about the plan can change when the pool size does.
+        pb = _batch(batch=50, n=8)
+        plan = plan_chunks(pb, 1e4)
+        assert all(isinstance(c, Chunk) for c in plan)
+        assert plan == plan_chunks(pb, 1e4)
+
+    def test_size_aware_mixed_n(self):
+        # Same problem count per group, wildly different cost: the
+        # expensive group must shard finer than the cheap one.
+        big = ProblemGroup("lu", np.zeros((64, 48, 48), dtype=np.float32))
+        small = ProblemGroup("lu", np.zeros((64, 4, 4), dtype=np.float32))
+        chunks = plan_chunks(ProblemBatch([big, small]), chunk_cost=lu_flops(48) * 8)
+        big_chunks = [c for c in chunks if c.group == 0]
+        small_chunks = [c for c in chunks if c.group == 1]
+        assert len(big_chunks) == 8
+        assert len(small_chunks) == 1
+
+    def test_at_least_one_problem_per_chunk(self):
+        pb = _batch(batch=5, n=32)
+        chunks = plan_chunks(pb, chunk_cost=1.0)
+        assert len(chunks) == 5
+        assert all(c.problems == 1 for c in chunks)
+
+    def test_uneven_tail_chunk(self):
+        pb = _batch(batch=10, n=8)
+        chunks = plan_chunks(pb, chunk_cost=lu_flops(8) * 4)
+        assert [c.problems for c in chunks] == [4, 4, 2]
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_chunks(_batch(), chunk_cost=0)
