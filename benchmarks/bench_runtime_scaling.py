@@ -8,7 +8,9 @@ batch (4096 matrices, 56x56, single precision):
   launch (size-aware chunking alone wins on one core via locality;
   worker processes stack on top where cores exist),
 * a warm calibration cache skips ``calibrate()`` entirely, asserted via
-  the ``calibrate`` trace-span count.
+  the ``calibrate`` trace-span count,
+* the fleet metrics registry is effectively free: enabling it costs
+  < 5% wall time vs running with ``REPRO_METRICS=0``.
 
 Run with ``pytest benchmarks/bench_runtime_scaling.py --benchmark-only``
 (``--workers N`` to change the pool size, ``--json PATH`` to export).
@@ -21,6 +23,7 @@ import numpy as np
 from repro.kernels.batched import diagonally_dominant_batch
 from repro.kernels.device import per_block_lu
 from repro.observe import tracing
+from repro.observe.metrics import set_metrics_enabled
 from repro.runtime import BatchRuntime, ProblemBatch
 
 PROBLEMS = 4096
@@ -74,9 +77,44 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
         f"(serial {serial_s:.2f}s vs {warm.wall_s:.2f}s)"
     )
 
+    # Metrics overhead: the fleet registry must ride along for free.
+    # Best-of-3 full runs (warm caches) enabled vs disabled; the
+    # instrumentation is a few hundred dict updates per launch, so any
+    # real gap would point at an accidental hot-path regression.
+    def _timed_run(enabled: bool) -> float:
+        previous = set_metrics_enabled(enabled)
+        try:
+            runtime = BatchRuntime(
+                workers=runtime_workers, cache_directory=cache_dir
+            )
+            t0 = time.perf_counter()
+            runtime.run(batch)
+            return time.perf_counter() - t0
+        finally:
+            set_metrics_enabled(previous)
+
+    # Interleave on/off rounds so machine drift (pool contention, turbo)
+    # hits both sides equally; min-of-rounds filters contended outliers.
+    walls_on, walls_off = [], []
+    for _ in range(3):
+        walls_on.append(_timed_run(True))
+        walls_off.append(_timed_run(False))
+    wall_on, wall_off = min(walls_on), min(walls_off)
+    overhead = wall_on / wall_off - 1.0
+    print(
+        f"metrics on: {wall_on:.3f}s | off: {wall_off:.3f}s "
+        f"| overhead {overhead:+.1%}"
+    )
+    # 5% relative plus a small absolute slack for timer noise on short runs.
+    assert wall_on <= wall_off * 1.05 + 0.02, (
+        f"metrics overhead {overhead:+.1%} exceeds 5% "
+        f"({wall_on:.3f}s vs {wall_off:.3f}s)"
+    )
+
     benchmark.extra_info["problems"] = PROBLEMS
     benchmark.extra_info["n"] = N
     benchmark.extra_info["workers"] = warm.workers
     benchmark.extra_info["chunks"] = warm.chunks
     benchmark.extra_info["mode"] = warm.mode
     benchmark.extra_info["speedup_vs_serial"] = speedup
+    benchmark.extra_info["metrics_overhead"] = overhead

@@ -12,7 +12,14 @@ repo's accumulating ``BENCH_*.json`` perf trajectory::
 
     pytest benchmarks/bench_fig9_per_block.py --benchmark-only \
         --json BENCH_fig9.json
+
+With ``--json`` the session also snapshots the process-global fleet
+metrics registry (``<stem>.metrics.json`` + ``.prom`` next to the JSON
+file) so cache hit rates and runtime histograms from the benchmark run
+are inspectable with ``python -m repro.observe.report --metrics ...``.
 """
+
+from pathlib import Path
 
 import pytest
 
@@ -37,6 +44,25 @@ def pytest_addoption(parser):
         help="worker-process count for runtime-backed benchmarks "
         "(see bench_runtime_scaling.py); 1 forces the serial path",
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Snapshot the fleet metrics the benchmark run accumulated."""
+    json_path = session.config.getoption("--json", default=None)
+    if not json_path:
+        return
+    from repro.observe.metrics import (
+        default_registry,
+        write_metrics_snapshot,
+        write_prometheus,
+    )
+
+    registry = default_registry()
+    if len(registry) == 0:
+        return
+    base = Path(json_path)
+    write_metrics_snapshot(registry, base.parent / (base.stem + ".metrics.json"))
+    write_prometheus(registry, base.parent / (base.stem + ".metrics.prom"))
 
 
 @pytest.fixture

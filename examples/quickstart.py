@@ -12,7 +12,10 @@ This walks the library's main surfaces in one sitting:
 3. let the dispatcher pick the best approach for a few other workloads
    (memoized through the persistent dispatch cache),
 4. ship a real batch through the sharded multi-process runtime
-   (``repro.runtime``) and compare against the serial launch.
+   (``repro.runtime``) and compare against the serial launch,
+5. inspect the fleet telemetry the run left behind: per-launch regime
+   classification, cache hit rates, and the metrics/history artifacts
+   the ``python -m repro.observe.report`` dashboard reads.
 
 Calibration goes through the persistent cache under ``~/.cache/repro``
 (override with ``REPRO_CACHE_DIR``), so every run after the first skips
@@ -145,6 +148,48 @@ def _walkthrough() -> None:
     ))
     if not identical:
         raise SystemExit("sharded output diverged from the serial launch")
+
+    # --- 5. Fleet telemetry. --------------------------------------------
+    # Every instrumented layer above (kernels, caches, dispatch, the
+    # sharded runtime) has been writing labeled metrics into the process
+    # registry, and each runtime launch appended a history record with
+    # its regime classification.  Snapshot both for the dashboard CLI.
+    from repro.observe import (
+        default_registry,
+        write_metrics_snapshot,
+        write_prometheus,
+    )
+
+    if report.regimes:
+        print("\nRegime classification (dominant Eq. 1/Eq. 2 term shares):")
+        print(format_table(
+            ["op", "regime", "dominant term", "share"],
+            [
+                [c.label, c.regime, c.dominant_term,
+                 f"{c.shares[c.regime]:.0%}"]
+                for c in report.regimes
+            ],
+        ))
+
+    registry = default_registry()
+    rows = []
+    for cache in registry.label_values("repro_cache_requests_total", "cache"):
+        hits = registry.sum_series(
+            "repro_cache_requests_total", cache=cache, outcome="hit")
+        total = registry.sum_series("repro_cache_requests_total", cache=cache)
+        rows.append([cache, int(hits), int(total),
+                     f"{hits / total:.0%}" if total else "-"])
+    if rows:
+        print("\nCache traffic this run:")
+        print(format_table(["cache", "hits", "requests", "hit rate"], rows))
+
+    snapshot = write_metrics_snapshot(registry)
+    write_prometheus(registry)
+    history = sharded_runtime.history
+    print(f"\nMetrics snapshot: {snapshot} (+ .prom sibling)")
+    if history is not None:
+        print(f"Run history:      {history.path} ({len(history)} records)")
+    print("Dashboard:        python -m repro.observe.report")
 
 
 if __name__ == "__main__":

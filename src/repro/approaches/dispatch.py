@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
+from ..observe.metrics import counter_inc
 from ..observe.tracer import current_tracer
 from .base import Approach, Workload
 from .baselines import CpuLapackApproach, CublasStreamsApproach, HybridBlockedApproach
@@ -88,6 +89,16 @@ def rank_approaches(
         if entry is not None:
             ranked = _from_cache(entry, candidates)
             if ranked is not None:
+                counter_inc(
+                    "repro_dispatch_rankings_total",
+                    op=work.kind,
+                    outcome="cache-hit",
+                )
+                counter_inc(
+                    "repro_dispatch_winner_total",
+                    op=work.kind,
+                    approach=ranked[0].name,
+                )
                 if tracer is not None:
                     tracer.counters.add("dispatch.cache_hits")
                     tracer.instant(
@@ -104,6 +115,12 @@ def rank_approaches(
     if not ranked:
         raise ValueError(f"no approach supports workload {work}")
     ranked.sort(key=lambda r: (-r.gflops, r.name))
+    counter_inc(
+        "repro_dispatch_rankings_total", op=work.kind, outcome="computed"
+    )
+    counter_inc(
+        "repro_dispatch_winner_total", op=work.kind, approach=ranked[0].name
+    )
     if tracer is not None:
         with tracer.span(
             "dispatch.rank", "dispatch", kind=work.kind, m=work.m, n=work.n,

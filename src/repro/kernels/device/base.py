@@ -250,6 +250,16 @@ class BlockKernel:
 
     def result(self, output: np.ndarray, flops_per_problem: float, extra=None
                ) -> DeviceKernelResult:
+        from ...observe.metrics import counter_inc
+
+        counter_inc(
+            "repro_kernel_launches_total",
+            m=self.m,
+            n=self.n,
+            threads=self.cfg.threads,
+        )
+        counter_inc("repro_kernel_problems_total", self.batch)
+        counter_inc("repro_kernel_flops_total", flops_per_problem * self.batch)
         return DeviceKernelResult(
             output=output,
             launch=self.engine.result(flops_per_block=flops_per_problem),

@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..gpu.device import DeviceSpec, QUADRO_6000
 from ..gpu.instructions import costs_for
 from ..model.parameters import ModelParameters
+from ..observe.metrics import counter_inc
 from ..observe.tracer import current_tracer, span
 from .global_bandwidth import measure_global_bandwidth
 from .global_latency import plateau_latency
@@ -66,6 +67,7 @@ def calibrate(device: DeviceSpec = QUADRO_6000, cache=None) -> ModelParameters:
 
 def _calibrate(device: DeviceSpec) -> ModelParameters:
     """The uncached Section-II sweep."""
+    counter_inc("repro_calibrations_total", device=device.name)
     with span("calibrate", "microbench", device=device.name):
         with span("calibrate.shared_bandwidth", "microbench"):
             shared_bw = measure_shared_bandwidth(device)

@@ -17,7 +17,21 @@ Three layers, all zero-dependency and off-by-default:
 
 Exporters (:mod:`repro.observe.export`) write Chrome ``trace_event``
 JSON (chrome://tracing, Perfetto) and flat metrics records for the
-benchmark trajectory.  See ``docs/observability.md`` for a walkthrough.
+benchmark trajectory.
+
+On top of the per-launch layers sits the fleet telemetry added in PR 3:
+
+* **labeled metrics** (:mod:`repro.observe.metrics`) -- a mergeable
+  Prometheus-shaped registry of counters/gauges/histograms the sharded
+  runtime, caches, and kernels write into;
+* **regime classification** (:mod:`repro.observe.regime`) -- each
+  launch labeled compute-/DRAM-bandwidth-/latency-/sync-bound from its
+  attribution term shares;
+* **run history + drift** (:mod:`repro.observe.history`) -- a JSONL
+  store of per-launch summaries with a rolling-window drift detector,
+  rendered by ``python -m repro.observe.report``.
+
+See ``docs/observability.md`` for a walkthrough.
 """
 
 from .counters import CounterRegistry, CounterStat
@@ -60,6 +74,35 @@ __all__ = [
     "metrics_record",
     "read_metrics",
     "write_metrics",
+    # lazily loaded: fleet metrics / regimes / history
+    "DEFAULT_BUCKETS",
+    "HistogramValue",
+    "MetricsRegistry",
+    "counter_inc",
+    "default_registry",
+    "default_snapshot_path",
+    "gauge_set",
+    "histogram_observe",
+    "load_metrics_snapshot",
+    "metrics_enabled",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "set_default_registry",
+    "set_metrics_enabled",
+    "write_metrics_snapshot",
+    "write_prometheus",
+    "REGIMES",
+    "RegimeClassification",
+    "classify_regime",
+    "record_regime",
+    "HISTORY_SCHEMA",
+    "DriftFlag",
+    "RunHistory",
+    "default_history_path",
+    "detect_drift",
+    "gauge_direction",
+    "record_gauges",
+    "run_record",
 ]
 
 #: Attribution pulls in the model layer and exporters pull in json/numpy;
@@ -76,6 +119,34 @@ _LAZY = {
     "metrics_record": "export",
     "read_metrics": "export",
     "write_metrics": "export",
+    "DEFAULT_BUCKETS": "metrics",
+    "HistogramValue": "metrics",
+    "MetricsRegistry": "metrics",
+    "counter_inc": "metrics",
+    "default_registry": "metrics",
+    "default_snapshot_path": "metrics",
+    "gauge_set": "metrics",
+    "histogram_observe": "metrics",
+    "load_metrics_snapshot": "metrics",
+    "metrics_enabled": "metrics",
+    "parse_prometheus_text": "metrics",
+    "prometheus_text": "metrics",
+    "set_default_registry": "metrics",
+    "set_metrics_enabled": "metrics",
+    "write_metrics_snapshot": "metrics",
+    "write_prometheus": "metrics",
+    "REGIMES": "regime",
+    "RegimeClassification": "regime",
+    "classify_regime": "regime",
+    "record_regime": "regime",
+    "HISTORY_SCHEMA": "history",
+    "DriftFlag": "history",
+    "RunHistory": "history",
+    "default_history_path": "history",
+    "detect_drift": "history",
+    "gauge_direction": "history",
+    "record_gauges": "history",
+    "run_record": "history",
 }
 
 

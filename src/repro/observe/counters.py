@@ -26,6 +26,7 @@ The registry is plain dictionaries and floats: cheap enough that the
 from __future__ import annotations
 
 import dataclasses
+import math
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -49,7 +50,15 @@ class CounterStat:
             self.maximum = value
 
     def as_dict(self) -> dict:
-        return {"total": self.total, "count": self.count, "max": self.maximum}
+        """JSON-strict view: a never-observed maximum reports as ``None``.
+
+        ``maximum`` starts at ``-inf`` (and stays there when every update
+        came through :meth:`CounterRegistry.add_aggregate` without one);
+        ``-Infinity`` is not valid strict JSON, so it must not reach the
+        exporters.
+        """
+        maximum = self.maximum if math.isfinite(self.maximum) else None
+        return {"total": self.total, "count": self.count, "max": maximum}
 
 
 class CounterRegistry:

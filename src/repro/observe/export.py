@@ -16,6 +16,7 @@ Two consumers, two formats:
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 from typing import Any, Optional
@@ -56,7 +57,12 @@ def atomic_write_text(path: Path | str, text: str) -> Path:
 
 
 def _jsonable(value: Any) -> Any:
-    """Coerce NumPy scalars/arrays and NaNs into JSON-safe values."""
+    """Coerce NumPy scalars/arrays into JSON-safe values.
+
+    Non-finite floats become ``None``: ``json.dumps`` would happily emit
+    ``NaN``/``Infinity``/``-Infinity``, which strict JSON parsers (and
+    the golden-file tests) reject.
+    """
     import numpy as np
 
     if isinstance(value, dict):
@@ -67,9 +73,7 @@ def _jsonable(value: Any) -> Any:
         value = value.item()
     if isinstance(value, np.ndarray):
         return _jsonable(value.tolist())
-    if isinstance(value, float) and (value != value or value in (
-        float("inf"), float("-inf")
-    )):
+    if isinstance(value, float) and not math.isfinite(value):
         return None
     return value
 

@@ -1,0 +1,225 @@
+"""Terminal dashboard over the run history and metrics snapshot.
+
+``python -m repro.observe.report`` renders, from the artifacts the
+instrumented runtime leaves behind (``history.jsonl`` plus the
+``metrics.json`` / ``metrics.prom`` snapshot under the cache root):
+
+* the most recent runs (problems, chunks, workers, mode, wall time,
+  winning regime);
+* the regime mix across the history window -- the paper's
+  bandwidth-bound vs compute-bound narrative as a fleet-level signal;
+* cache hit rates for the calibration and dispatch caches;
+* drift flags: gauges in the latest run that moved beyond a
+  direction-aware tolerance from their rolling-window median.
+
+Everything is stdlib + the repo's own table renderer; no third-party
+dependencies.  ``--strict`` exits non-zero when drift is flagged, so the
+same command doubles as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..reporting.tables import format_table
+from .history import RunHistory, default_history_path, detect_drift
+from .metrics import (
+    MetricsRegistry,
+    default_snapshot_path,
+    load_metrics_snapshot,
+)
+
+__all__ = ["main", "render_report"]
+
+
+def _fmt_ts(ts: float) -> str:
+    try:
+        return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+    except (OverflowError, OSError, ValueError):
+        return "?"
+
+
+def _run_rows(records: List[dict], limit: int) -> List[list]:
+    rows = []
+    for doc in records[-limit:]:
+        summary = doc.get("summary", {})
+        groups = summary.get("groups", [])
+        ops = ",".join(g.get("op", "?") for g in groups) or "?"
+        regimes = doc.get("regimes", [])
+        regime = ",".join(sorted({r.get("regime", "?") for r in regimes})) or "-"
+        rows.append(
+            [
+                _fmt_ts(doc.get("ts", 0.0)),
+                ops,
+                summary.get("problems", 0),
+                summary.get("chunks", 0),
+                summary.get("workers", 0),
+                summary.get("mode", "?"),
+                summary.get("wall_s", 0.0),
+                regime,
+            ]
+        )
+    return rows
+
+
+def _regime_mix(records: List[dict]) -> List[list]:
+    counts: dict = {}
+    total = 0
+    for doc in records:
+        for entry in doc.get("regimes", []):
+            regime = entry.get("regime", "?")
+            counts[regime] = counts.get(regime, 0) + 1
+            total += 1
+    rows = []
+    for regime in sorted(counts, key=lambda r: (-counts[r], r)):
+        share = counts[regime] / total if total else 0.0
+        rows.append([regime, counts[regime], f"{share:.0%}"])
+    return rows
+
+
+def _cache_rows(registry: Optional[MetricsRegistry]) -> List[list]:
+    if registry is None or "repro_cache_requests_total" not in registry:
+        return []
+    rows = []
+    caches = registry.label_values("repro_cache_requests_total", "cache")
+    for cache in caches:
+        hits = registry.sum_series(
+            "repro_cache_requests_total", cache=cache, outcome="hit"
+        )
+        misses = registry.sum_series(
+            "repro_cache_requests_total", cache=cache, outcome="miss"
+        )
+        stale = registry.sum_series(
+            "repro_cache_requests_total", cache=cache, outcome="stale"
+        )
+        total = hits + misses + stale
+        rate = f"{hits / total:.0%}" if total else "-"
+        rows.append([cache, int(hits), int(misses), int(stale), rate])
+    return rows
+
+
+def render_report(
+    history: RunHistory,
+    registry: Optional[MetricsRegistry],
+    runs: int = 10,
+    window: int = 8,
+    tolerance: float = 0.10,
+):
+    """The dashboard text plus the drift flags it rendered."""
+    records = history.load()
+    sections = []
+    if not records:
+        sections.append(
+            f"no run history at {history.path} -- run a sharded batch "
+            "(e.g. examples/quickstart.py) to populate it"
+        )
+    else:
+        sections.append(
+            format_table(
+                ["time", "ops", "problems", "chunks", "workers", "mode", "wall_s", "regime"],
+                _run_rows(records, runs),
+                title=f"Recent runs ({min(runs, len(records))} of {len(records)})",
+            )
+        )
+        mix = _regime_mix(records)
+        if mix:
+            sections.append(
+                format_table(
+                    ["regime", "launches", "share"], mix, title="Regime mix"
+                )
+            )
+
+    cache_rows = _cache_rows(registry)
+    if cache_rows:
+        sections.append(
+            format_table(
+                ["cache", "hits", "misses", "stale", "hit rate"],
+                cache_rows,
+                title="Cache hit rates",
+            )
+        )
+    elif registry is not None:
+        sections.append("no cache traffic recorded in the metrics snapshot")
+
+    flags = detect_drift(records, window=window, tolerance=tolerance)
+    if flags:
+        sections.append(
+            format_table(
+                ["gauge", "latest", "median", "deviation", "better"],
+                [
+                    [f.gauge, f.value, f.median, f"{f.deviation:+.1%}", f.direction]
+                    for f in flags
+                ],
+                title=f"Drift flags (>{tolerance:.0%} vs {window}-run median)",
+            )
+        )
+    elif records:
+        sections.append(
+            f"no drift: latest run within {tolerance:.0%} of its "
+            f"{window}-run median"
+        )
+    return "\n\n".join(sections) + "\n", flags
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe.report",
+        description="Fleet telemetry dashboard: runs, regimes, caches, drift.",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help="history JSONL path (default: <cache dir>/history.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="metrics snapshot (.json or .prom; default: <cache dir>/metrics.json)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=10, help="recent runs to list (default 10)"
+    )
+    parser.add_argument(
+        "--window", type=int, default=8, help="drift median window (default 8)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="drift tolerance as a fraction (default 0.10)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any gauge drifted beyond tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    history = RunHistory(args.history or default_history_path())
+    metrics_path = args.metrics or default_snapshot_path()
+    registry = load_metrics_snapshot(metrics_path)
+    if registry is None and args.metrics is None:
+        # Fall back to the Prometheus exposition next to the JSON snapshot.
+        registry = load_metrics_snapshot(metrics_path.with_suffix(".prom"))
+
+    text, flags = render_report(
+        history,
+        registry,
+        runs=args.runs,
+        window=args.window,
+        tolerance=args.tolerance,
+    )
+    print(text, end="")
+    if args.strict and flags:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

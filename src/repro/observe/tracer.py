@@ -188,16 +188,20 @@ class Tracer:
         finally:
             handle.end()
 
-    def ingest(self, events, **tags: Any) -> int:
+    def ingest(self, events, dropped: int = 0, **tags: Any) -> int:
         """Replay foreign :class:`Event` records into this tracer.
 
         Used by the sharded runtime to fold each worker's trace back into
         the launch tracer: every event is re-stamped onto this tracer's
         clock (shifted so the replay starts "now" and stays monotonic)
         and tagged with ``tags`` (e.g. ``shard=3``) so merged timelines
-        remain attributable.  Events are replayed in the order given;
-        returns the number ingested.
+        remain attributable.  ``dropped`` carries the source ring
+        buffer's overflow count into :attr:`dropped` -- without it a
+        worker that overflowed would fold into a launch trace that looks
+        complete.  Events are replayed in the order given; returns the
+        number ingested.
         """
+        self.dropped += int(dropped)
         base = self._ts
         count = 0
         for ev in events:

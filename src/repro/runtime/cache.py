@@ -35,6 +35,7 @@ from .. import __version__
 from ..gpu.device import QUADRO_6000, DeviceSpec
 from ..model.parameters import ModelParameters
 from ..observe.export import atomic_write_text
+from ..observe.metrics import counter_inc
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -42,10 +43,13 @@ __all__ = [
     "DispatchCache",
     "cache_dir",
     "device_fingerprint",
+    "params_fingerprint",
 ]
 
 #: Bump when the on-disk layout of either cache changes.
-CACHE_SCHEMA = 1
+#: 2: dispatch keys carry the ModelParameters content hash, so a
+#: recalibration invalidates rankings computed under old latencies.
+CACHE_SCHEMA = 2
 
 #: The six measured Table-IV fields persisted per device.
 _PARAM_FIELDS = (
@@ -78,6 +82,24 @@ def device_fingerprint(device: DeviceSpec) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def params_fingerprint(params: ModelParameters) -> str:
+    """Stable hash of the measured Table-IV values (plus the device).
+
+    The dispatch ranking is a function of the *latencies*, not just the
+    device: hand-edited parameters or a recalibration under a changed
+    microbenchmark must produce a different fingerprint so stale
+    ``rank_approaches`` memos die with the numbers that produced them.
+    """
+    payload = json.dumps(
+        {
+            "device": device_fingerprint(params.device),
+            **{field: getattr(params, field) for field in _PARAM_FIELDS},
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def _version_stamp() -> str:
     return f"{__version__}/schema{CACHE_SCHEMA}"
 
@@ -89,15 +111,26 @@ class _JsonStore:
         self.path = path
 
     def load(self) -> Optional[dict]:
+        return self.load_status()[0]
+
+    def load_status(self) -> tuple[Optional[dict], str]:
+        """``(doc, outcome)`` where outcome is ``hit``/``miss``/``stale``.
+
+        A *miss* is an absent file (cold cache); *stale* is a file that
+        exists but cannot be served -- unparseable, or written by a
+        different library version / schema revision.
+        """
         try:
-            doc = json.loads(self.path.read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(doc, dict):
-            return None
-        if doc.get("version") != _version_stamp():
-            return None
-        return doc
+            text = self.path.read_text()
+        except OSError:
+            return None, "miss"
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            return None, "stale"
+        if not isinstance(doc, dict) or doc.get("version") != _version_stamp():
+            return None, "stale"
+        return doc, "hit"
 
     def store(self, body: dict) -> None:
         doc = {"version": _version_stamp(), **body}
@@ -138,15 +171,21 @@ class CalibrationCache:
     def load(self, device: DeviceSpec) -> Optional[ModelParameters]:
         """The cached Table-IV parameters, or ``None`` on a cold/stale cache."""
         store, fp = self._store(device)
-        doc = store.load()
-        if doc is None or doc.get("device_fingerprint") != fp:
-            return None
-        params = doc.get("parameters")
-        if not isinstance(params, dict):
-            return None
-        try:
-            values = {field: float(params[field]) for field in _PARAM_FIELDS}
-        except (KeyError, TypeError, ValueError):
+        doc, outcome = store.load_status()
+        params = doc.get("parameters") if doc else None
+        values = None
+        if doc is not None:
+            if doc.get("device_fingerprint") != fp or not isinstance(params, dict):
+                outcome = "stale"
+            else:
+                try:
+                    values = {
+                        field: float(params[field]) for field in _PARAM_FIELDS
+                    }
+                except (KeyError, TypeError, ValueError):
+                    outcome = "stale"
+        counter_inc("repro_cache_requests_total", cache="calibration", outcome=outcome)
+        if values is None:
             return None
         return ModelParameters(device=device, **values)
 
@@ -162,6 +201,7 @@ class CalibrationCache:
                 },
             }
         )
+        counter_inc("repro_cache_writes_total", cache="calibration")
         return store.path
 
     def clear(self, device: DeviceSpec) -> None:
@@ -193,18 +233,35 @@ class DispatchCache:
             self.directory / f"dispatch-{self._fingerprint[:16]}.json"
         )
         self._memory: Optional[dict] = None
+        self._params_fp = "unbound"
         self.hits = 0
         self.misses = 0
+        self.stale = 0
 
     @property
     def path(self) -> Path:
         return self._disk.path
 
+    def bind_params(self, params: Optional[ModelParameters]) -> None:
+        """Scope subsequent keys to a calibration's content hash.
+
+        Rankings memoized under one set of Table-IV latencies must not be
+        served under another: after (re)calibration the runtime binds the
+        resulting parameters here, and every key minted before the bind
+        (or under different values) simply stops matching.  ``None``
+        resets to the unbound scope.
+        """
+        if params is None:
+            self._params_fp = "unbound"
+        else:
+            self._params_fp = params_fingerprint(params)[:12]
+
     def key(self, work) -> str:
-        """The ``(op, m, n, batch, complex, device)`` key for ``work``."""
+        """The ``(op, m, n, batch, complex, device, params)`` key for ``work``."""
         return (
             f"{work.kind}:{work.m}x{work.n}:b{work.batch}"
             f":c{int(work.complex_dtype)}:{self._fingerprint[:16]}"
+            f":p{self._params_fp}"
         )
 
     def _entries(self) -> dict:
@@ -224,19 +281,25 @@ class DispatchCache:
         entry = self._entries().get(self.key(work))
         if entry is None:
             self.misses += 1
+            counter_inc("repro_cache_requests_total", cache="dispatch", outcome="miss")
             return None
         try:
             decoded = [(str(name), float(gflops)) for name, gflops in entry]
         except (TypeError, ValueError):
+            # Present but undecodable: stale by content, miss by effect.
             self.misses += 1
+            self.stale += 1
+            counter_inc("repro_cache_requests_total", cache="dispatch", outcome="stale")
             return None
         self.hits += 1
+        counter_inc("repro_cache_requests_total", cache="dispatch", outcome="hit")
         return decoded
 
     def store(self, work, ranking: list[tuple[str, float]]) -> None:
         """Record a ranking and persist the cache (when persistent)."""
         entries = self._entries()
         entries[self.key(work)] = [[name, gflops] for name, gflops in ranking]
+        counter_inc("repro_cache_writes_total", cache="dispatch")
         if self.persistent:
             self._disk.store(
                 {

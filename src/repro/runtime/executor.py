@@ -36,12 +36,15 @@ import multiprocessing
 import os
 import time
 import warnings
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..gpu.device import QUADRO_6000, DeviceSpec
 from ..model.parameters import ModelParameters
+from ..observe import metrics as _metrics
+from ..observe.history import RunHistory, run_record
 from ..observe.tracer import current_tracer, tracing
 from .cache import CalibrationCache, DispatchCache
 from .merge import BatchReport, ChunkOutcome, merge_outcomes
@@ -75,20 +78,37 @@ def default_workers() -> int:
 def _execute_chunk(
     op: str, data: np.ndarray, kwargs: dict, traced: bool
 ) -> ChunkOutcome:
-    """Run one chunk (in a worker or inline) and package the outcome."""
+    """Run one chunk (in a worker or inline) and package the outcome.
+
+    When fleet metrics are enabled, the chunk runs against a private
+    :class:`~repro.observe.metrics.MetricsRegistry` that ships back with
+    the outcome -- inline execution takes the same detour, so the
+    launch-level fold (and therefore every metric total) is identical
+    between the serial and sharded paths.
+    """
     kernel = _kernel_registry().get(op)
     if kernel is None:
         raise ValueError(f"unknown batched op {op!r}; supported: {supported_ops()}")
+    local_metrics = previous_metrics = None
+    if _metrics.metrics_enabled():
+        local_metrics = _metrics.MetricsRegistry()
+        previous_metrics = _metrics.set_default_registry(local_metrics)
     start = time.perf_counter()
-    if traced:
-        with tracing() as tracer:
+    dropped = 0
+    try:
+        if traced:
+            with tracing() as tracer:
+                result = kernel(data, **kwargs)
+            events = list(tracer.events)
+            registry = tracer.counters
+            dropped = tracer.dropped
+        else:
             result = kernel(data, **kwargs)
-        events = list(tracer.events)
-        registry = tracer.counters
-    else:
-        result = kernel(data, **kwargs)
-        events = []
-        registry = None
+            events = []
+            registry = None
+    finally:
+        if local_metrics is not None:
+            _metrics.set_default_registry(previous_metrics)
     return ChunkOutcome(
         output=result.output,
         extra=result.extra,
@@ -97,6 +117,8 @@ def _execute_chunk(
         events=events,
         registry=registry,
         pid=os.getpid(),
+        dropped=dropped,
+        metrics=local_metrics,
     )
 
 
@@ -117,6 +139,12 @@ class BatchRuntime:
     use_caches:
         When ``False``, no cache files are read or written (calibration
         runs every time and dispatch rankings are not memoized).
+    history:
+        Run-history destination.  The default (``None``) co-locates a
+        ``history.jsonl`` with the caches when ``use_caches`` is on and
+        records nothing otherwise; pass ``False`` to disable, ``True``
+        for the default location, a path, or a ready
+        :class:`~repro.observe.history.RunHistory`.
     start_method:
         ``multiprocessing`` start method; default prefers ``fork`` for
         its negligible startup cost, falling back to the platform
@@ -130,6 +158,7 @@ class BatchRuntime:
         device: DeviceSpec = QUADRO_6000,
         use_caches: bool = True,
         cache_directory=None,
+        history=None,
         start_method: Optional[str] = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -141,11 +170,32 @@ class BatchRuntime:
         self.dispatch_cache = (
             DispatchCache(device, directory=cache_directory) if use_caches else None
         )
+        self.history = self._resolve_history(history, use_caches, cache_directory)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
         self._params: Optional[ModelParameters] = None
+
+    @staticmethod
+    def _resolve_history(
+        history, use_caches: bool, cache_directory
+    ) -> Optional[RunHistory]:
+        if history is False:
+            return None
+        if isinstance(history, RunHistory):
+            return history
+        if history is True:
+            return RunHistory()
+        if history is not None:  # a path
+            return RunHistory(history)
+        # Default: ride with the caches (hermetic cache dir -> hermetic
+        # history), and stay silent when caching is off entirely.
+        if not use_caches:
+            return None
+        if cache_directory is not None:
+            return RunHistory(Path(cache_directory) / "history.jsonl")
+        return RunHistory()
 
     # ------------------------------------------------------------------
     # Cached decision products
@@ -164,9 +214,16 @@ class BatchRuntime:
         return self._params
 
     def rank(self, work):
-        """Approach ranking for ``work`` through the dispatch cache."""
+        """Approach ranking for ``work`` through the dispatch cache.
+
+        The cache is first scoped to this runtime's calibrated
+        parameters, so a recalibration (new device spec, hand-edited
+        latencies) invalidates memos ranked under the old numbers.
+        """
         from ..approaches.dispatch import rank_approaches
 
+        if self.dispatch_cache is not None:
+            self.dispatch_cache.bind_params(self.parameters())
         return rank_approaches(work, cache=self.dispatch_cache)
 
     # ------------------------------------------------------------------
@@ -219,7 +276,12 @@ class BatchRuntime:
             for chunk, outcome in zip(chunks, outcomes):
                 if outcome.registry is not None:
                     tracer.counters.merge(outcome.registry)
-                tracer.ingest(outcome.events, shard=chunk.index, worker=outcome.pid)
+                tracer.ingest(
+                    outcome.events,
+                    dropped=outcome.dropped,
+                    shard=chunk.index,
+                    worker=outcome.pid,
+                )
             tracer.instant(
                 "runtime.launch",
                 "runtime",
@@ -233,17 +295,168 @@ class BatchRuntime:
             batch, chunks, outcomes, workers=self.workers, mode=mode, wall_s=wall_s
         )
         report.params = self.parameters()
+        self._observe_run(batch, chunks, outcomes, report)
         return report
+
+    def _observe_run(self, batch, chunks, outcomes, report: BatchReport) -> None:
+        """Fold chunk telemetry into the fleet registry + run history.
+
+        Regime classification always lands on the report (it is part of
+        the result); registry writes honor the global metrics flag, and
+        the history append happens whenever this runtime carries a
+        :class:`RunHistory`.  Telemetry failures never fail the launch.
+        """
+        from ..observe.regime import classify_regime, record_regime
+
+        attributions = []
+        try:
+            from ..observe.attribution import attribute_launch
+
+            for group_result in report.results:
+                attributions.append(
+                    attribute_launch(
+                        report.params, group_result.launch, label=group_result.op
+                    )
+                )
+            report.regimes = [classify_regime(a) for a in attributions]
+        except (ValueError, KeyError, AttributeError):
+            attributions = []
+
+        if _metrics.metrics_enabled():
+            registry = _metrics.default_registry()
+            # Worker registries fold in submission order -- the same
+            # fold the inline path takes, so serial == sharded totals.
+            for outcome in outcomes:
+                if outcome.metrics is not None:
+                    registry.merge(outcome.metrics)
+            registry.inc(
+                "repro_runtime_launches_total",
+                help="Batch launches by execution mode.",
+                mode=report.mode,
+            )
+            if report.mode == "serial-fallback":
+                registry.inc(
+                    "repro_runtime_serial_fallback_total",
+                    help="Launches degraded from the pool to in-process.",
+                )
+            dropped = sum(o.dropped for o in outcomes)
+            if dropped:
+                registry.inc(
+                    "repro_trace_dropped_events_total",
+                    dropped,
+                    help="Worker trace events lost to ring-buffer overflow.",
+                )
+            registry.set(
+                "repro_runtime_workers",
+                report.workers,
+                help="Pool size of the most recent launch.",
+            )
+            registry.set(
+                "repro_runtime_wall_seconds",
+                report.wall_s,
+                help="Wall time of the most recent launch.",
+            )
+            for chunk, outcome in zip(chunks, outcomes):
+                op = batch.groups[chunk.group].op
+                registry.inc(
+                    "repro_runtime_chunks_total",
+                    help="Chunks executed, by op/mode/worker pid.",
+                    op=op,
+                    mode=report.mode,
+                    worker=outcome.pid,
+                )
+                registry.observe(
+                    "repro_chunk_wall_seconds",
+                    outcome.wall_s,
+                    help="Per-chunk kernel wall time.",
+                    op=op,
+                )
+                registry.observe(
+                    "repro_chunk_queue_wait_seconds",
+                    outcome.queue_wait_s,
+                    help="Per-chunk time between submission and execution.",
+                    op=op,
+                )
+                registry.inc(
+                    "repro_chunk_problems_total",
+                    chunk.problems,
+                    help="Problems executed per chunk, by op and shard.",
+                    op=op,
+                    shard=chunk.index,
+                )
+            for group_result, group in zip(report.results, batch.groups):
+                registry.inc(
+                    "repro_runtime_problems_total",
+                    group_result.problems,
+                    help="Problems factored, by op.",
+                    op=group_result.op,
+                )
+                registry.inc(
+                    "repro_runtime_flops_total",
+                    group.cost,
+                    help="Useful FLOPs executed, by op.",
+                    op=group_result.op,
+                )
+                registry.inc(
+                    "repro_runtime_bytes_total",
+                    float(group.data.nbytes) * 2.0,
+                    help="Operand bytes moved (read + write), by op.",
+                    op=group_result.op,
+                )
+                registry.set(
+                    "repro_runtime_gflops",
+                    group_result.gflops,
+                    help="Simulated throughput of the latest launch, by op.",
+                    op=group_result.op,
+                )
+            for classification in report.regimes:
+                record_regime(classification, registry=registry, op=classification.label)
+
+        if self.history is not None:
+            try:
+                self.history.append(
+                    run_record(
+                        report.summary(),
+                        regimes=report.regimes,
+                        attribution=[
+                            {
+                                "label": a.label,
+                                "residual_total": a.residual_total,
+                                "measured_total": a.measured_total,
+                                "eq_total": a.eq_total,
+                            }
+                            for a in attributions
+                        ],
+                        device=self.device.name,
+                    )
+                )
+            except OSError:
+                pass
 
     def _run_pool(self, payloads: list) -> list[ChunkOutcome]:
         context = multiprocessing.get_context(self.start_method)
         max_workers = min(self.workers, len(payloads))
+        done_at: dict = {}
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers, mp_context=context
         ) as pool:
-            futures = [pool.submit(_execute_chunk, *p) for p in payloads]
+            futures = []
+            submitted_at = []
+            for payload in payloads:
+                future = pool.submit(_execute_chunk, *payload)
+                submitted_at.append(time.perf_counter())
+                future.add_done_callback(
+                    lambda f: done_at.setdefault(id(f), time.perf_counter())
+                )
+                futures.append(future)
             # Collect in submission order; completion order is irrelevant.
-            return [future.result() for future in futures]
+            outcomes = [future.result() for future in futures]
+        for future, submit_ts, outcome in zip(futures, submitted_at, outcomes):
+            turnaround = done_at.get(id(future), submit_ts) - submit_ts
+            # Time not spent executing the kernel = pool queueing (plus
+            # pickling, which rides along -- both are scheduling cost).
+            outcome.queue_wait_s = max(0.0, turnaround - outcome.wall_s)
+        return outcomes
 
 
 def run_batched(

@@ -20,6 +20,7 @@ import numpy as np
 from ..gpu.simt import LaunchResult
 from ..model.parameters import ModelParameters
 from ..observe.counters import CounterRegistry
+from ..observe.metrics import MetricsRegistry
 from ..observe.tracer import Event
 from .sharding import Chunk, ProblemBatch
 
@@ -40,6 +41,14 @@ class ChunkOutcome:
     registry: Optional[CounterRegistry]
     #: Populated by the executor with the worker's pid.
     pid: int = 0
+    #: Trace events the worker's ring buffer overflowed past.
+    dropped: int = 0
+    #: Worker-local fleet metrics (None when metrics are disabled);
+    #: folded into the launch registry in submission order.
+    metrics: Optional[MetricsRegistry] = None
+    #: Seconds between submission and the worker picking the chunk up
+    #: (0 for inline execution); measured by the executor.
+    queue_wait_s: float = 0.0
 
 
 @dataclasses.dataclass
@@ -77,6 +86,9 @@ class BatchReport:
     mode: str
     wall_s: float
     params: Optional[ModelParameters] = None
+    #: Per-group :class:`~repro.observe.regime.RegimeClassification`
+    #: verdicts (populated by the runtime when counters are available).
+    regimes: list = dataclasses.field(default_factory=list)
 
     @property
     def problems(self) -> int:

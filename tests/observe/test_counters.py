@@ -1,5 +1,7 @@
 """Counter registry semantics: folds, stages, merges."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -69,3 +71,26 @@ class TestMerge:
         c.add("x", 2.5)
         snap = c.snapshot()
         assert snap["x"] == {"total": 2.5, "count": 1, "max": 2.5}
+
+
+class TestSnapshotJsonStrict:
+    def test_unobserved_maximum_snapshots_as_none(self):
+        # add_aggregate without a maximum leaves the stat's peak at its
+        # -inf sentinel; the snapshot must emit None, not -Infinity,
+        # because strict-JSON consumers reject the latter.
+        c = CounterRegistry()
+        c.add_aggregate("flops.groups", total=128.0, events=4)
+        snap = c.snapshot()["flops.groups"]
+        assert snap == {"total": 128.0, "count": 4, "max": None}
+        json.dumps(snap, allow_nan=False)  # must not raise
+
+    def test_aggregate_with_maximum_keeps_it(self):
+        c = CounterRegistry()
+        c.add_aggregate("growth", total=6.0, events=2, maximum=4.0)
+        assert c.snapshot()["growth"]["max"] == 4.0
+
+    def test_later_add_recovers_a_finite_maximum(self):
+        c = CounterRegistry()
+        c.add_aggregate("x", total=1.0)
+        c.add("x", 3.0)
+        assert c.snapshot()["x"]["max"] == 3.0

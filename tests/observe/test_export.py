@@ -58,6 +58,31 @@ class TestChromeTrace:
         assert args["i64"] == 7
         assert args["bad"] is None
 
+    def test_every_nonfinite_flavor_exports_as_null(self):
+        tracer = Tracer()
+        tracer.instant(
+            "edges", "test",
+            pos=float("inf"), neg=float("-inf"), nan=float("nan"), ok=2.0,
+        )
+        doc = chrome_trace(tracer)
+        args = [e for e in doc["traceEvents"] if e["ph"] == "i"][0]["args"]
+        json.dumps(args, allow_nan=False)  # strict JSON must not raise
+        assert args["pos"] is None and args["neg"] is None
+        assert args["nan"] is None
+        assert args["ok"] == 2.0
+
+    def test_aggregate_only_counters_are_strict_json(self, tmp_path):
+        # add_aggregate without a maximum leaves -inf in the stat; the
+        # trace document must still serialize under allow_nan=False.
+        tracer = Tracer()
+        tracer.instant("mark", "test")
+        tracer.counters.add_aggregate("flops.groups", total=64.0, events=2)
+        doc = chrome_trace(tracer)
+        json.dumps(doc, allow_nan=False)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)
+        json.loads(path.read_text())
+
 
 class TestMetrics:
     def test_write_appends_to_json_array(self, tmp_path):

@@ -1,0 +1,207 @@
+"""Run-history JSONL store: durable appends and drift detection."""
+
+import json
+import math
+
+import pytest
+
+from repro.observe.history import (
+    HISTORY_SCHEMA,
+    RunHistory,
+    detect_drift,
+    gauge_direction,
+    record_gauges,
+    run_record,
+)
+
+
+def summary(wall=0.5, gflops=100.0):
+    return {
+        "problems": 2048, "chunks": 4, "workers": 2, "mode": "process",
+        "wall_s": wall,
+        "groups": [{"op": "lu", "problems": 2048, "gflops": gflops}],
+    }
+
+
+def records_for(walls, gflops=None):
+    return [
+        run_record(summary(
+            wall=wall, gflops=100.0 if gflops is None else gflops[i]
+        ))
+        for i, wall in enumerate(walls)
+    ]
+
+
+class TestRunHistory:
+    def test_append_stamps_and_load_round_trips(self, tmp_path):
+        history = RunHistory(tmp_path / "history.jsonl")
+        path = history.append({"summary": summary(), "device": "Quadro 6000"})
+        assert path == history.path
+        (record,) = history.load()
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["ts"] > 0
+        assert record["device"] == "Quadro 6000"
+        assert record["summary"]["problems"] == 2048
+
+    def test_appends_accumulate_across_instances(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        RunHistory(path).append({"run": 1})
+        RunHistory(path).append({"run": 2})
+        history = RunHistory(path)
+        assert len(history) == 2
+        assert [r["run"] for r in history.load()] == [1, 2]
+
+    def test_load_limit_keeps_newest(self, tmp_path):
+        history = RunHistory(tmp_path / "history.jsonl")
+        for i in range(5):
+            history.append({"run": i})
+        assert [r["run"] for r in history.load(limit=2)] == [3, 4]
+
+    def test_corrupt_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        history = RunHistory(path)
+        history.append({"run": "good"})
+        with path.open("a") as fh:
+            fh.write("{ torn lin\n")
+            fh.write("\n")
+            fh.write('"not a dict"\n')
+            fh.write(json.dumps({"schema": HISTORY_SCHEMA + 1, "run": "new"}) + "\n")
+        history.append({"run": "also good"})
+        assert [r["run"] for r in history.load()] == ["good", "also good"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert RunHistory(tmp_path / "absent.jsonl").load() == []
+
+    def test_clear_removes_file(self, tmp_path):
+        history = RunHistory(tmp_path / "history.jsonl")
+        history.append({"run": 0})
+        history.clear()
+        assert not history.path.exists()
+        history.clear()  # idempotent on a missing file
+
+    def test_nonfinite_values_stored_as_null(self, tmp_path):
+        history = RunHistory(tmp_path / "history.jsonl")
+        history.append({"gflops": math.nan, "wall_s": 0.5})
+        (record,) = history.load()
+        assert record["gflops"] is None
+        assert record["wall_s"] == 0.5
+
+
+class TestRunRecord:
+    def test_embeds_regimes_and_attribution(self):
+        class FakeClassification:
+            def to_dict(self):
+                return {"label": "lu", "regime": "latency-bound"}
+
+        record = run_record(
+            summary(),
+            regimes=[FakeClassification(), {"label": "qr", "regime": "compute-bound"}],
+            attribution=[{"label": "lu", "residual_total": 12.0}],
+            device="G80",
+        )
+        assert record["device"] == "G80"
+        assert record["regimes"][0] == {"label": "lu", "regime": "latency-bound"}
+        assert record["regimes"][1]["regime"] == "compute-bound"
+        assert record["attribution"][0]["residual_total"] == 12.0
+
+    def test_empty_sections_omitted(self):
+        record = run_record(summary())
+        assert "regimes" not in record
+        assert "attribution" not in record
+
+
+class TestRecordGauges:
+    def test_flattens_and_keys_lists_by_identity(self):
+        gauges = record_gauges({
+            "schema": HISTORY_SCHEMA,
+            "ts": 123.0,
+            "summary": summary(wall=0.25),
+            "regimes": [{"regime": "latency-bound", "measured_cycles": 10.0}],
+            "identical": True,
+        })
+        assert gauges["summary.wall_s"] == 0.25
+        assert gauges["summary.groups.lu.gflops"] == 100.0
+        assert gauges["regimes.latency-bound.measured_cycles"] == 10.0
+        assert "ts" not in gauges and "schema" not in gauges
+        assert "identical" not in gauges  # bools are not gauges
+
+    def test_lists_without_identity_use_index(self):
+        gauges = record_gauges({"walls": [0.1, 0.2]})
+        assert gauges == {"walls.0": 0.1, "walls.1": 0.2}
+
+    def test_nonfinite_leaves_skipped(self):
+        assert record_gauges({"x": math.inf, "y": 1.0}) == {"y": 1.0}
+
+
+class TestGaugeDirection:
+    @pytest.mark.parametrize("name", [
+        "summary.wall_s", "chunk.queue_wait", "attribution.lu.residual_total",
+        "reconstruction_err", "cache.misses", "trace.dropped",
+    ])
+    def test_lower_is_better(self, name):
+        assert gauge_direction(name) == "lower"
+
+    @pytest.mark.parametrize("name", [
+        "summary.groups.lu.gflops", "speedup_vs_serial", "cache.hits",
+    ])
+    def test_higher_is_better(self, name):
+        assert gauge_direction(name) == "higher"
+
+
+class TestDetectDrift:
+    def test_flags_wall_time_regression(self):
+        flags = detect_drift(records_for([0.5] * 5 + [0.7]))
+        flag = next(f for f in flags if f.gauge == "summary.wall_s")
+        assert flag.direction == "lower"
+        assert flag.deviation == pytest.approx(0.4)
+        assert flag.median == pytest.approx(0.5)
+        assert "summary.wall_s" in str(flag)
+
+    def test_flags_throughput_drop(self):
+        flags = detect_drift(
+            records_for([0.5] * 6, gflops=[100.0] * 5 + [80.0])
+        )
+        flag = next(
+            f for f in flags if f.gauge == "summary.groups.lu.gflops"
+        )
+        assert flag.direction == "higher"
+        assert flag.deviation == pytest.approx(-0.2)
+
+    def test_improvement_is_not_drift(self):
+        # Wall time down and throughput up move in their *good*
+        # directions: nothing to flag.
+        flags = detect_drift(
+            records_for([0.5] * 5 + [0.3], gflops=[100.0] * 5 + [150.0])
+        )
+        assert flags == []
+
+    def test_within_tolerance_is_quiet(self):
+        assert detect_drift(records_for([0.5] * 5 + [0.52])) == []
+
+    def test_needs_min_history(self):
+        assert detect_drift(records_for([0.5, 0.5, 5.0])) == []
+        assert detect_drift(records_for([0.5] * 3 + [5.0])) != []
+
+    def test_zero_median_gauges_skipped(self):
+        records = records_for([0.5] * 6)
+        for r in records[:-1]:
+            r["residual"] = 0.0
+        records[-1]["residual"] = 5.0
+        assert all(f.gauge != "residual" for f in detect_drift(records))
+
+    def test_window_bounds_the_median(self):
+        # Old slow runs outside the window must not mask a regression
+        # against the recent fast median.
+        walls = [5.0] * 10 + [0.5] * 8 + [0.7]
+        flags = detect_drift(records_for(walls), window=8)
+        flag = next(f for f in flags if f.gauge == "summary.wall_s")
+        assert flag.median == pytest.approx(0.5)
+        assert flag.window == 8
+
+    def test_sorted_by_deviation_magnitude(self):
+        flags = detect_drift(
+            records_for([0.5] * 5 + [0.7], gflops=[100.0] * 5 + [10.0])
+        )
+        assert len(flags) >= 2
+        deviations = [abs(f.deviation) for f in flags]
+        assert deviations == sorted(deviations, reverse=True)

@@ -1,0 +1,272 @@
+"""Fleet metrics registry: semantics, merge parity, exposition."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.observe.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    counter_inc,
+    gauge_set,
+    histogram_observe,
+    load_metrics_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+    set_default_registry,
+    set_metrics_enabled,
+    write_metrics_snapshot,
+    write_prometheus,
+)
+
+GOLDEN = Path(__file__).parent / "golden_metrics.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """The registry state pinned byte-for-byte by ``golden_metrics.prom``."""
+    reg = MetricsRegistry()
+    reg.inc(
+        "repro_cache_requests_total", 3, help="Cache lookups by outcome.",
+        cache="dispatch", outcome="hit",
+    )
+    reg.inc("repro_cache_requests_total", 1, cache="dispatch", outcome="miss")
+    reg.inc("repro_cache_requests_total", 2, cache="calibration", outcome="hit")
+    reg.set("repro_runtime_workers", 4, help="Configured pool size.")
+    reg.set("repro_regime_share", 0.625, regime="compute-bound", op="qr")
+    for value in (0.25, 0.75, 2.5):
+        reg.observe(
+            "repro_chunk_wall_seconds", value, help="Chunk wall time.",
+            buckets=(0.5, 1.0), op="lu",
+        )
+    return reg
+
+
+@pytest.fixture
+def fresh_default():
+    """A clean process-default registry with metrics forced on."""
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    previous_flag = set_metrics_enabled(True)
+    yield registry
+    set_default_registry(previous)
+    set_metrics_enabled(previous_flag)
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("requests", 2, op="lu")
+        reg.inc("requests", 3, op="lu")
+        reg.inc("requests", op="qr")
+        assert reg.value("requests", op="lu") == 5.0
+        assert reg.value("requests", op="qr") == 1.0
+        assert reg.value("requests", op="cholesky") == 0.0
+
+    def test_negative_increment_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.inc("requests", -1)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.set("x", 1.0)
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.observe("x", 1.0)
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().inc("bad name")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set("workers", 2)
+        reg.set("workers", 4)
+        assert reg.value("workers") == 4.0
+
+    def test_nonfinite_value_ignored(self):
+        reg = MetricsRegistry()
+        reg.set("gflops", 100.0)
+        reg.set("gflops", math.nan)
+        reg.set("gflops", math.inf)
+        assert reg.value("gflops") == 100.0
+
+
+class TestHistogram:
+    def test_bucket_placement_and_totals(self):
+        reg = MetricsRegistry()
+        for v in (0.25, 0.5, 0.75, 2.5):
+            reg.observe("wall", v, buckets=(0.5, 1.0))
+        hist = reg.histogram_value("wall")
+        assert hist.counts == [2, 1, 1]  # le=0.5 inclusive, then le=1, +Inf
+        assert hist.cumulative() == [2, 3]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(4.0)
+
+    def test_default_buckets_used_when_unspecified(self):
+        reg = MetricsRegistry()
+        reg.observe("wall", 0.1)
+        assert reg.histogram_value("wall").buckets == DEFAULT_BUCKETS
+
+    def test_fixed_buckets_enforced(self):
+        reg = MetricsRegistry()
+        reg.observe("wall", 0.1, buckets=(0.5, 1.0))
+        with pytest.raises(ValueError, match="fixed buckets"):
+            reg.observe("wall", 0.1, buckets=(0.25, 1.0))
+
+    def test_non_increasing_buckets_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="increasing"):
+            reg.observe("wall", 0.1, buckets=(1.0, 0.5))
+
+    def test_nonfinite_observation_ignored(self):
+        reg = MetricsRegistry()
+        reg.observe("wall", math.nan, buckets=(1.0,))
+        reg.observe("wall", 0.5, buckets=(1.0,))
+        assert reg.histogram_value("wall").count == 1
+
+
+class TestMerge:
+    def test_worker_fold_matches_sequential_recording(self):
+        # The runtime folds per-worker registries in submission order;
+        # the result must be indistinguishable from recording everything
+        # in one registry -- checked through the byte-stable exposition.
+        sequential = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in range(3)]
+        for i, worker in enumerate(workers):
+            for reg in (sequential, worker):
+                reg.inc("chunks_total", 1, op="lu")
+                reg.inc("problems_total", 10 * (i + 1), op="lu")
+                reg.observe("wall", 0.1 * (i + 1), buckets=(0.15, 0.25))
+                reg.set("workers", i)
+        launch = MetricsRegistry()
+        for worker in workers:
+            launch.merge(worker)
+        assert prometheus_text(launch) == prometheus_text(sequential)
+
+    def test_merge_into_empty_copies_everything(self):
+        launch = MetricsRegistry()
+        launch.merge(golden_registry())
+        assert prometheus_text(launch) == prometheus_text(golden_registry())
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("wall", 0.1, buckets=(0.5,))
+        b.observe("wall", 0.1, buckets=(1.0,))
+        with pytest.raises(ValueError, match="fixed buckets"):
+            a.merge(b)
+
+
+class TestReading:
+    def test_sum_series_matches_label_subset(self):
+        reg = golden_registry()
+        assert reg.sum_series("repro_cache_requests_total", cache="dispatch") == 4.0
+        assert reg.sum_series("repro_cache_requests_total", outcome="hit") == 5.0
+        assert reg.sum_series("repro_cache_requests_total") == 6.0
+        assert reg.sum_series("absent") == 0.0
+
+    def test_label_values_sorted_distinct(self):
+        reg = golden_registry()
+        assert reg.label_values("repro_cache_requests_total", "cache") == [
+            "calibration", "dispatch",
+        ]
+        assert reg.label_values("repro_cache_requests_total", "nope") == []
+        assert reg.label_values("absent", "cache") == []
+
+    def test_kind_contains_len(self):
+        reg = golden_registry()
+        assert reg.kind("repro_cache_requests_total") == "counter"
+        assert reg.kind("repro_runtime_workers") == "gauge"
+        assert reg.kind("repro_chunk_wall_seconds") == "histogram"
+        assert reg.kind("absent") is None
+        assert "repro_runtime_workers" in reg
+        assert len(reg) == 4
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_exposition(self):
+        reg = golden_registry()
+        rebuilt = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert prometheus_text(rebuilt) == prometheus_text(reg)
+
+    def test_write_and_load_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_snapshot(golden_registry(), path)
+        loaded = load_metrics_snapshot(path)
+        assert prometheus_text(loaded) == prometheus_text(golden_registry())
+
+    def test_write_and_load_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(golden_registry(), path)
+        loaded = load_metrics_snapshot(path)
+        assert prometheus_text(loaded) == prometheus_text(golden_registry())
+
+    def test_load_missing_or_corrupt_is_none(self, tmp_path):
+        assert load_metrics_snapshot(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ truncated")
+        assert load_metrics_snapshot(bad) is None
+
+    def test_load_wrong_schema_is_none(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text('{"schema": 999, "families": {}}')
+        assert load_metrics_snapshot(path) is None
+
+
+class TestExposition:
+    def test_matches_golden_file(self):
+        assert prometheus_text(golden_registry()) == GOLDEN.read_text()
+
+    def test_parse_round_trips_byte_exact(self):
+        text = prometheus_text(golden_registry())
+        assert prometheus_text(parse_prometheus_text(text)) == text
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.inc("odd_labels", 1, device='Quadro "6000"\\v2', note="two\nlines")
+        text = prometheus_text(reg)
+        assert prometheus_text(parse_prometheus_text(text)) == text
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_text("# TYPE x counter\nx{oops 1\n")
+
+    def test_sample_without_type_raises(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus_text("mystery_metric 1\n")
+
+
+class TestDefaultRegistry:
+    def test_helpers_record_when_enabled(self, fresh_default):
+        counter_inc("c_total", 2, op="lu")
+        gauge_set("g", 7.0)
+        histogram_observe("h", 0.5, buckets=(1.0,))
+        assert fresh_default.value("c_total", op="lu") == 2.0
+        assert fresh_default.value("g") == 7.0
+        assert fresh_default.histogram_value("h").count == 1
+
+    def test_helpers_noop_when_disabled(self, fresh_default):
+        set_metrics_enabled(False)
+        counter_inc("c_total")
+        gauge_set("g", 1.0)
+        histogram_observe("h", 0.5)
+        assert len(fresh_default) == 0
+
+    def test_set_default_registry_swaps_and_returns(self, fresh_default):
+        other = MetricsRegistry()
+        previous = set_default_registry(other)
+        try:
+            assert previous is fresh_default
+            counter_inc("c_total")
+            assert other.value("c_total") == 1.0
+            assert fresh_default.value("c_total") == 0.0
+        finally:
+            set_default_registry(previous)
+
+    def test_set_metrics_enabled_returns_previous(self, fresh_default):
+        assert set_metrics_enabled(False) is True
+        assert set_metrics_enabled(True) is False

@@ -148,6 +148,67 @@ class TestRingBuffer:
         assert tracer.dropped == 0
 
 
+class TestIngest:
+    """Folding worker events back into a launch tracer."""
+
+    def _worker_trace(self):
+        src = Tracer()
+        with src.span("chunk", "runtime"):
+            src.instant("kernel.start", "kernel", depth=1)
+        src.instant("chunk.done", "runtime")
+        return src
+
+    def test_tags_land_on_every_event(self):
+        src = self._worker_trace()
+        dst = Tracer()
+        count = dst.ingest(src.events, shard=3, worker=123)
+        assert count == len(src.events) == len(dst.events)
+        for ev in dst.events:
+            assert ev.args["shard"] == 3
+            assert ev.args["worker"] == 123
+        # Original args survive next to the stamps.
+        kernel = next(e for e in dst.events if e.name == "kernel.start")
+        assert kernel.args["depth"] == 1
+
+    def test_order_preserved_and_restamped_after_existing_events(self):
+        src = self._worker_trace()
+        dst = Tracer()
+        dst.instant("before", "runtime")
+        base = list(dst.events)[-1].ts
+        dst.ingest(src.events, shard=0)
+        names = [e.name for e in dst.events]
+        assert names == ["before"] + [e.name for e in src.events]
+        ingested = list(dst.events)[1:]
+        # Shifted onto this tracer's clock: nothing lands before "before",
+        # and the worker's internal timing survives as a constant offset.
+        assert all(ev.ts >= base for ev in ingested)
+        shifts = {
+            ev.ts - src_ev.ts for ev, src_ev in zip(ingested, src.events)
+        }
+        assert len(shifts) == 1
+
+    def test_clock_stays_monotonic_after_ingest(self):
+        dst = Tracer()
+        dst.ingest(self._worker_trace().events, shard=0)
+        last = list(dst.events)[-1].ts
+        dst.instant("after", "runtime")
+        assert list(dst.events)[-1].ts > last
+
+    def test_dropped_kwarg_accumulates(self):
+        dst = Tracer()
+        assert dst.ingest([], dropped=5) == 0
+        dst.ingest(self._worker_trace().events, dropped=2, shard=1)
+        assert dst.dropped == 7
+
+    def test_no_tags_leaves_args_untouched(self):
+        src = Tracer()
+        src.instant("bare", "test")
+        dst = Tracer()
+        dst.ingest(src.events)
+        (ev,) = dst.events
+        assert ev.args is None or "shard" not in ev.args
+
+
 class TestTimestamps:
     def test_tick_clock_is_monotonic(self):
         tracer = Tracer()

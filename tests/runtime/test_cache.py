@@ -1,18 +1,36 @@
 """Persistent calibration/dispatch caches: round trips and invalidation."""
 
+import dataclasses
 import json
 
+import pytest
 
 import repro.runtime.cache as cache_mod
 from repro.approaches import Workload, best_approach, rank_approaches
 from repro.gpu.device import G80, QUADRO_6000
 from repro.microbench import calibrate
 from repro.observe import tracing
+from repro.observe.metrics import (
+    MetricsRegistry,
+    set_default_registry,
+    set_metrics_enabled,
+)
 from repro.runtime import CalibrationCache, DispatchCache, device_fingerprint
+from repro.runtime.cache import params_fingerprint
 
 
 def _calibrate_spans(tracer):
     return [e for e in tracer.events if e.name == "calibrate" and e.ph == "X"]
+
+
+@pytest.fixture
+def metrics_registry():
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    previous_flag = set_metrics_enabled(True)
+    yield registry
+    set_default_registry(previous)
+    set_metrics_enabled(previous_flag)
 
 
 class TestCalibrationCache:
@@ -60,10 +78,46 @@ class TestCalibrationCache:
         assert cache.load(QUADRO_6000) is None
 
     def test_fingerprint_tracks_spec_fields(self):
-        import dataclasses
-
         tweaked = dataclasses.replace(QUADRO_6000, l2_bytes=1024)
         assert device_fingerprint(tweaked) != device_fingerprint(QUADRO_6000)
+
+
+class TestJsonStoreStatus:
+    def test_miss_then_hit_then_stale(self, tmp_path):
+        store = cache_mod._JsonStore(tmp_path / "doc.json")
+        assert store.load_status() == (None, "miss")
+
+        store.store({"x": 1})
+        doc, outcome = store.load_status()
+        assert outcome == "hit" and doc["x"] == 1
+
+        store.path.write_text("{ truncated")
+        assert store.load_status() == (None, "stale")
+
+    def test_foreign_version_is_stale_not_miss(self, tmp_path):
+        store = cache_mod._JsonStore(tmp_path / "doc.json")
+        store.store({"x": 1})
+        doc = json.loads(store.path.read_text())
+        doc["version"] = "0.0.0/schema0"
+        store.path.write_text(json.dumps(doc))
+        assert store.load_status() == (None, "stale")
+
+
+class TestParamsFingerprint:
+    def test_stable_across_recalibration(self):
+        assert params_fingerprint(calibrate(QUADRO_6000)) == params_fingerprint(
+            calibrate(QUADRO_6000)
+        )
+
+    def test_tracks_measured_values(self):
+        params = calibrate(QUADRO_6000)
+        tweaked = dataclasses.replace(params, gamma=params.gamma * 2)
+        assert params_fingerprint(tweaked) != params_fingerprint(params)
+
+    def test_tracks_device(self):
+        assert params_fingerprint(calibrate(G80)) != params_fingerprint(
+            calibrate(QUADRO_6000)
+        )
 
 
 class TestCalibrateWithCache:
@@ -143,3 +197,90 @@ class TestDispatchCache:
             rank_approaches(self.work(), cache=cache)
         assert any(e.name == "dispatch.cache_hit" for e in tracer.events)
         assert tracer.counters.value("dispatch.cache_hits") == 1
+
+    def test_bind_params_scopes_keys(self, tmp_path):
+        cache = DispatchCache(directory=tmp_path)
+        unbound_key = cache.key(self.work())
+        assert unbound_key.endswith(":punbound")
+
+        params = calibrate(QUADRO_6000)
+        cache.bind_params(params)
+        bound_key = cache.key(self.work())
+        assert bound_key != unbound_key
+        assert bound_key.endswith(":p" + params_fingerprint(params)[:12])
+
+        cache.bind_params(None)
+        assert cache.key(self.work()) == unbound_key
+
+    def test_recalibration_invalidates_memos(self, tmp_path):
+        # A ranking memoized under one set of Table-IV latencies must not
+        # be served under another; rebinding the original restores it.
+        cache = DispatchCache(directory=tmp_path)
+        params = calibrate(QUADRO_6000)
+        cache.bind_params(params)
+        rank_approaches(self.work(), cache=cache)
+        assert cache.lookup(self.work()) is not None
+
+        cache.bind_params(dataclasses.replace(params, gamma=params.gamma * 2))
+        assert cache.lookup(self.work()) is None
+
+        cache.bind_params(params)
+        assert cache.lookup(self.work()) is not None
+
+    def test_undecodable_entry_counts_as_stale(self, tmp_path):
+        cache = DispatchCache(directory=tmp_path)
+        rank_approaches(self.work(), cache=cache)
+        doc = json.loads(cache.path.read_text())
+        doc["entries"][cache.key(self.work())] = 123  # not a ranking list
+        cache.path.write_text(json.dumps(doc))
+
+        fresh = DispatchCache(directory=tmp_path)
+        assert fresh.lookup(self.work()) is None
+        assert fresh.stale == 1
+        assert fresh.misses == 1
+        assert fresh.hits == 0
+
+
+class TestCacheMetrics:
+    def test_calibration_outcomes_counted(self, tmp_path, metrics_registry):
+        cache = CalibrationCache(tmp_path)
+        cache.load(QUADRO_6000)  # cold: miss
+        cache.store(QUADRO_6000, calibrate(QUADRO_6000))
+        cache.load(QUADRO_6000)  # warm: hit
+        cache.path_for(QUADRO_6000).write_text("{ truncated")
+        cache.load(QUADRO_6000)  # corrupt: stale
+
+        def requests(outcome):
+            return metrics_registry.value(
+                "repro_cache_requests_total", cache="calibration", outcome=outcome
+            )
+
+        assert requests("miss") == 1
+        assert requests("hit") == 1
+        assert requests("stale") == 1
+        assert metrics_registry.value(
+            "repro_cache_writes_total", cache="calibration"
+        ) == 1
+
+    def test_dispatch_outcomes_counted(self, tmp_path, metrics_registry):
+        cache = DispatchCache(directory=tmp_path)
+        work = Workload.square("qr", 56, 5000)
+        rank_approaches(work, cache=cache)  # miss, then store
+        rank_approaches(work, cache=cache)  # hit
+
+        def requests(outcome):
+            return metrics_registry.value(
+                "repro_cache_requests_total", cache="dispatch", outcome=outcome
+            )
+
+        assert requests("miss") == 1
+        assert requests("hit") == 1
+        assert metrics_registry.value(
+            "repro_cache_writes_total", cache="dispatch"
+        ) == 1
+        assert metrics_registry.value(
+            "repro_dispatch_rankings_total", op="qr", outcome="computed"
+        ) == 1
+        assert metrics_registry.value(
+            "repro_dispatch_rankings_total", op="qr", outcome="cache-hit"
+        ) == 1

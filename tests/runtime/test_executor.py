@@ -6,13 +6,26 @@ import pytest
 from repro.kernels.batched import diagonally_dominant_batch, random_batch, run_batched
 from repro.kernels.device import per_block_lu, per_block_qr
 from repro.model.flops import lu_flops
+from repro.observe import metrics as metrics_mod
 from repro.observe import tracing
+from repro.observe.history import RunHistory
+from repro.observe.regime import REGIMES
 from repro.runtime import BatchRuntime, ProblemBatch, supported_ops
 
 
 def _runtime(tmp_path, **kwargs):
     kwargs.setdefault("cache_directory", tmp_path / "cache")
     return BatchRuntime(**kwargs)
+
+
+@pytest.fixture
+def metrics_registry():
+    registry = metrics_mod.MetricsRegistry()
+    previous = metrics_mod.set_default_registry(registry)
+    previous_flag = metrics_mod.set_metrics_enabled(True)
+    yield registry
+    metrics_mod.set_default_registry(previous)
+    metrics_mod.set_metrics_enabled(previous_flag)
 
 
 class TestParity:
@@ -101,6 +114,36 @@ class TestObservability:
         # serial path's do (calibration counters ride along identically).
         assert sharded_tracer.counters.snapshot() == serial_tracer.counters.snapshot()
 
+    def test_worker_events_keep_tags_and_per_shard_order(self, tmp_path):
+        # Satellite of the ingest re-stamping fix: every folded event must
+        # carry shard+worker tags, and the per-shard event-name sequence
+        # (span nesting included) must survive the trip through the pool.
+        matrices = diagonally_dominant_batch(30, 10, seed=12)
+        chunk_cost = lu_flops(10) * 10
+        serial_rt = _runtime(tmp_path, workers=1, chunk_cost=chunk_cost)
+        sharded_rt = _runtime(tmp_path, workers=2, chunk_cost=chunk_cost)
+        serial_rt.parameters()
+        sharded_rt.parameters()
+
+        def shard_sequences(runtime):
+            with tracing() as tracer:
+                report = runtime.run(ProblemBatch.single("lu", matrices))
+            sequences = {}
+            for event in tracer.events:
+                if event.args and "shard" in event.args:
+                    assert "worker" in event.args
+                    sequences.setdefault(event.args["shard"], []).append(
+                        event.name
+                    )
+            return report, sequences
+
+        serial_report, serial_seq = shard_sequences(serial_rt)
+        sharded_report, sharded_seq = shard_sequences(sharded_rt)
+        assert sharded_report.mode == "process"
+        assert serial_report.mode == "serial"
+        assert set(sharded_seq) == set(range(sharded_report.chunks))
+        assert sharded_seq == serial_seq
+
     def test_untraced_launch_emits_nothing(self, tmp_path):
         matrices = diagonally_dominant_batch(8, 8, seed=7)
         report = _runtime(tmp_path, workers=1).run(ProblemBatch.single("lu", matrices))
@@ -168,3 +211,129 @@ class TestRuntimeCaches:
         assert runtime.calibration_cache is None
         assert runtime.dispatch_cache is None
         assert runtime.parameters() is runtime.parameters()
+
+
+class TestFleetTelemetry:
+    def _run_with_registry(self, tmp_path, workers, chunk_cost, matrices):
+        registry = metrics_mod.MetricsRegistry()
+        previous = metrics_mod.set_default_registry(registry)
+        previous_flag = metrics_mod.set_metrics_enabled(True)
+        try:
+            report = _runtime(tmp_path, workers=workers, chunk_cost=chunk_cost).run(
+                ProblemBatch.single("lu", matrices)
+            )
+        finally:
+            metrics_mod.set_default_registry(previous)
+            metrics_mod.set_metrics_enabled(previous_flag)
+        return report, registry
+
+    def test_run_emits_fleet_metrics(self, tmp_path, metrics_registry):
+        matrices = diagonally_dominant_batch(40, 12, seed=13)
+        runtime = _runtime(tmp_path, workers=2, chunk_cost=lu_flops(12) * 10)
+        report = runtime.run(ProblemBatch.single("lu", matrices))
+        assert report.mode == "process"
+        reg = metrics_registry
+        assert reg.value("repro_runtime_launches_total", mode="process") == 1
+        assert reg.value("repro_runtime_problems_total", op="lu") == 40
+        assert reg.sum_series("repro_chunk_problems_total", op="lu") == 40
+        assert reg.sum_series("repro_runtime_chunks_total") == report.chunks
+        wall = reg.histogram_value("repro_chunk_wall_seconds", op="lu")
+        wait = reg.histogram_value("repro_chunk_queue_wait_seconds", op="lu")
+        assert wall.count == report.chunks and wall.total > 0
+        assert wait.count == report.chunks and wait.total >= 0
+        assert reg.value("repro_runtime_workers") == report.workers
+        assert reg.value("repro_runtime_gflops", op="lu") > 0
+        # Kernel-level counters recorded inside worker processes folded
+        # back into the launch registry.
+        assert reg.sum_series("repro_kernel_launches_total") == report.chunks
+        assert reg.sum_series("repro_kernel_problems_total") == 40
+        # One launch classified into exactly one regime.
+        assert reg.sum_series("repro_launch_regime_total") == 1
+
+    def test_serial_and_sharded_deterministic_totals_match(self, tmp_path):
+        matrices = diagonally_dominant_batch(40, 12, seed=14)
+        chunk_cost = lu_flops(12) * 7
+        # Warm the calibration cache so both measured runs see identical
+        # cache traffic, not one cold sweep and one hit.
+        self._run_with_registry(tmp_path, 1, chunk_cost, matrices)
+
+        serial_report, serial_reg = self._run_with_registry(
+            tmp_path, 1, chunk_cost, matrices
+        )
+        sharded_report, sharded_reg = self._run_with_registry(
+            tmp_path, 2, chunk_cost, matrices
+        )
+        assert serial_report.mode == "serial"
+        assert sharded_report.mode == "process"
+        deterministic = [
+            "repro_kernel_launches_total",
+            "repro_kernel_problems_total",
+            "repro_kernel_flops_total",
+            "repro_runtime_problems_total",
+            "repro_runtime_flops_total",
+            "repro_runtime_bytes_total",
+            "repro_chunk_problems_total",
+            "repro_cache_requests_total",
+            "repro_launch_regime_total",
+        ]
+        for name in deterministic:
+            assert sharded_reg.sum_series(name) == serial_reg.sum_series(name), name
+        # Not just the totals: the per-shard series line up one to one.
+        for shard in range(sharded_report.chunks):
+            assert sharded_reg.value(
+                "repro_chunk_problems_total", op="lu", shard=shard
+            ) == serial_reg.value(
+                "repro_chunk_problems_total", op="lu", shard=shard
+            )
+
+    def test_regimes_classified_on_report(self, tmp_path):
+        matrices = diagonally_dominant_batch(12, 8, seed=15)
+        report = _runtime(tmp_path, workers=1).run(
+            ProblemBatch.single("lu", matrices)
+        )
+        (classification,) = report.regimes
+        assert classification.label == "lu"
+        assert classification.regime in REGIMES
+        assert sum(classification.shares.values()) == pytest.approx(1.0)
+
+    def test_metrics_disabled_emits_nothing(self, tmp_path, metrics_registry):
+        metrics_mod.set_metrics_enabled(False)
+        matrices = diagonally_dominant_batch(12, 8, seed=16)
+        report = _runtime(tmp_path, workers=1).run(
+            ProblemBatch.single("lu", matrices)
+        )
+        assert len(metrics_registry) == 0
+        # Regime classification is part of the result, not telemetry.
+        assert report.regimes
+
+
+class TestRunHistoryIntegration:
+    def test_run_appends_history_record(self, tmp_path):
+        runtime = _runtime(tmp_path, workers=1)
+        assert runtime.history is not None
+        assert runtime.history.path == tmp_path / "cache" / "history.jsonl"
+        matrices = diagonally_dominant_batch(12, 8, seed=17)
+        runtime.run(ProblemBatch.single("lu", matrices))
+        (record,) = runtime.history.load()
+        assert record["summary"]["problems"] == 12
+        assert record["device"] == runtime.device.name
+        assert record["regimes"][0]["regime"] in REGIMES
+        assert record["attribution"][0]["label"] == "lu"
+        assert "residual_total" in record["attribution"][0]
+
+    def test_history_rides_with_use_caches(self, tmp_path):
+        assert BatchRuntime(workers=1, use_caches=False).history is None
+        assert _runtime(tmp_path, history=False).history is None
+
+    def test_history_accepts_path_and_instance(self, tmp_path):
+        path = tmp_path / "elsewhere.jsonl"
+        runtime = _runtime(tmp_path, workers=1, history=path)
+        runtime.run(
+            ProblemBatch.single(
+                "lu", diagonally_dominant_batch(8, 8, seed=18)
+            )
+        )
+        assert len(RunHistory(path)) == 1
+
+        ready = RunHistory(tmp_path / "ready.jsonl")
+        assert _runtime(tmp_path, history=ready).history is ready
