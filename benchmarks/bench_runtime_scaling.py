@@ -10,7 +10,10 @@ batch (4096 matrices, 56x56, single precision):
 * a warm calibration cache skips ``calibrate()`` entirely, asserted via
   the ``calibrate`` trace-span count,
 * the fleet metrics registry is effectively free: enabling it costs
-  < 5% wall time vs running with ``REPRO_METRICS=0``.
+  < 5% wall time vs running with ``REPRO_METRICS=0``,
+* the race sanitizer is pay-for-use: a default (sanitizer-off) launch
+  stays within 2% of one with the sanitizer explicitly forced off, and
+  a sanitized launch is bitwise-identical to an unsanitized one.
 
 Run with ``pytest benchmarks/bench_runtime_scaling.py --benchmark-only``
 (``--workers N`` to change the pool size, ``--json PATH`` to export).
@@ -20,6 +23,7 @@ import time
 
 import numpy as np
 
+from repro.analyze.sanitizer import sanitizing
 from repro.kernels.batched import diagonally_dominant_batch
 from repro.kernels.device import per_block_lu
 from repro.observe import tracing
@@ -111,6 +115,50 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
         f"({wall_on:.3f}s vs {wall_off:.3f}s)"
     )
 
+    # Sanitizer-off overhead: the off path's only addition is one
+    # ``is None`` check per shared access, so a default launch and one
+    # with the sanitizer explicitly forced off must be the same speed.
+    # If the sanitizer ever becomes default-on (env parse bug, leaked
+    # sanitizing() override) or grows work outside the None check, the
+    # default side slows down and this trips.
+    sample = matrices[:512]
+
+    def _serial_run(forced_off: bool) -> float:
+        t0 = time.perf_counter()
+        if forced_off:
+            with sanitizing(False):
+                per_block_lu(sample)
+        else:
+            per_block_lu(sample)
+        return time.perf_counter() - t0
+
+    walls_default, walls_forced = [], []
+    for _ in range(3):
+        walls_default.append(_serial_run(forced_off=False))
+        walls_forced.append(_serial_run(forced_off=True))
+    wall_default, wall_forced = min(walls_default), min(walls_forced)
+    sanitizer_overhead = wall_default / wall_forced - 1.0
+    print(
+        f"sanitizer default: {wall_default:.3f}s | forced off: "
+        f"{wall_forced:.3f}s | overhead {sanitizer_overhead:+.1%}"
+    )
+    assert wall_default <= wall_forced * 1.02 + 0.02, (
+        f"sanitizer-off overhead {sanitizer_overhead:+.1%} exceeds 2% "
+        f"({wall_default:.3f}s vs {wall_forced:.3f}s)"
+    )
+
+    # A sanitized launch may cost more, but must not perturb numerics:
+    # same outputs, same cycle totals, and the default launch carries no
+    # sanitizer report at all.
+    assert per_block_lu(sample).launch.sanitizer is None
+    with sanitizing(True):
+        sanitized = per_block_lu(sample)
+    assert sanitized.launch.sanitizer is not None
+    assert sanitized.launch.sanitizer.ok
+    plain = per_block_lu(sample)
+    assert np.array_equal(sanitized.output, plain.output)
+    assert sanitized.cycles == plain.cycles
+
     benchmark.extra_info["problems"] = PROBLEMS
     benchmark.extra_info["n"] = N
     benchmark.extra_info["workers"] = warm.workers
@@ -118,3 +166,4 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
     benchmark.extra_info["mode"] = warm.mode
     benchmark.extra_info["speedup_vs_serial"] = speedup
     benchmark.extra_info["metrics_overhead"] = overhead
+    benchmark.extra_info["sanitizer_off_overhead"] = sanitizer_overhead

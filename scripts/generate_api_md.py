@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.tiled",
     "repro.stap",
     "repro.observe",
+    "repro.analyze",
     "repro.reporting",
     "repro.errors",
 ]
@@ -34,7 +35,8 @@ docstring line of each export.  Regenerate with::
 
 Narrative guides: [model derivations](model.md) --
 [observability (tracing, counters, attribution)](observability.md) --
-[batch runtime (sharded execution, caches, CI gate)](runtime.md).
+[batch runtime (sharded execution, caches, CI gate)](runtime.md) --
+[correctness analysis (race sanitizer, protocol linter)](analyze.md).
 """
 
 

@@ -1,0 +1,65 @@
+"""Correctness tooling for the simulated kernel zoo.
+
+Two independent layers guard the shared-memory protocol the paper's
+per-block kernels depend on (every cross-thread handoff bracketed by a
+``__syncthreads``, Eq. 2's ``nsync * alpha_sync`` term):
+
+* a **dynamic sanitizer** (:mod:`repro.analyze.sanitizer`) -- an opt-in
+  access recorder inside :class:`~repro.gpu.shared_memory.SharedMemory`
+  and :class:`~repro.gpu.simt.BlockEngine` that tags every functional
+  read/write with its sync *epoch* and flags cross-lane write->read,
+  write->write, and read->write hazards inside one epoch, plus
+  wasted-sync and never-synced diagnostics.  Enable with
+  ``REPRO_SANITIZE=1``, ``BlockEngine(sanitize=True)``, or the
+  :func:`sanitizing` context manager;
+
+* a **static lint pass** (:mod:`repro.analyze.lint`, stdlib ``ast``
+  only) -- project-specific rules RPR001..RPR005 covering
+  batch-invariance, kernel sync protocol, nondeterminism sources,
+  unaccounted shared allocations, and float equality.
+
+Both layers share one CLI: ``python -m repro.analyze {lint,sanitize}``
+(see :mod:`repro.analyze.cli`); ``docs/analyze.md`` documents the rules
+and the CI gate.
+"""
+
+from .lint import Finding, Rule, RULES, lint_file, lint_paths, lint_source
+from .sanitizer import (
+    Hazard,
+    SanitizeReport,
+    SharedSanitizer,
+    sanitize_enabled,
+    sanitizing,
+)
+
+__all__ = [
+    "Finding",
+    "Hazard",
+    "RULES",
+    "Rule",
+    "SanitizeReport",
+    "SharedSanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run_sweep",
+    "sanitize_enabled",
+    "sanitizing",
+    "sweep_cases",
+]
+
+
+def __getattr__(name: str):
+    # The sweep registry and CLI import the full kernel stack; loading
+    # them eagerly here would cycle through gpu.simt (which imports the
+    # sanitizer).  PEP 562 keeps them one attribute access away.
+    if name in ("run_sweep", "sweep_cases"):
+        from . import registry
+
+        return getattr(registry, name)
+    if name == "main":
+        from .cli import main
+
+        return main
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

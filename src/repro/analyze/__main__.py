@@ -1,0 +1,7 @@
+"""``python -m repro.analyze`` -- dispatch to the analysis CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

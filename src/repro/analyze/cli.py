@@ -1,0 +1,119 @@
+"""Command-line entry points for the analysis subsystem.
+
+Two subcommands mirror the two layers:
+
+``python -m repro.analyze lint [paths...] [--json] [--strict] [--rules ...]``
+    Static kernel-protocol linter over ``src/repro`` (default) or the
+    given files/directories.
+
+``python -m repro.analyze sanitize [--json] [--strict]``
+    Dynamic shared-memory race sweep over every registered device
+    kernel at several problem shapes.
+
+``--strict`` makes any finding/hazard exit nonzero -- how CI gates.
+``--json`` emits machine-readable output (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main"]
+
+_DEFAULT_LINT_ROOT = Path(__file__).resolve().parents[2] / "repro"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import RULES, lint_paths
+
+    paths = args.paths or [_DEFAULT_LINT_ROOT]
+    rules = args.rules.split(",") if args.rules else None
+    if rules:
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths, rules=rules)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        print(f"{len(findings)} finding(s)")
+    return 1 if (args.strict and findings) else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .registry import run_sweep
+
+    results = run_sweep()
+    bad = [r for r in results if not r["ok"]]
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        for r in results:
+            if r["report"] is None:
+                status = "clean (no shared memory)"
+            elif r["ok"]:
+                rep = r["report"]
+                status = (
+                    f"clean ({rep['syncs']} syncs, "
+                    f"{rep['accesses']} tracked accesses)"
+                )
+            else:
+                rep = r["report"]
+                status = (
+                    f"FAIL ({len(rep['hazards'])} hazard(s), "
+                    f"{rep['redundant_syncs']} redundant sync(s))"
+                )
+            print(f"{r['kernel']:28s} {r['shape']:8s} {status}")
+            if not r["ok"]:
+                for h in r["report"]["hazards"]:
+                    print(
+                        f"    {h['kind']} on {h['array']} "
+                        f"epoch {h['epoch']} phase {h['phase']!r}: "
+                        f"{h['message']}"
+                    )
+        print(f"{len(results)} case(s), {len(bad)} with hazards")
+    return 1 if (args.strict and bad) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analyze``; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Static linter and dynamic race sanitizer for the "
+        "simulated-GPU kernels.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the RPR00x static rules")
+    p_lint.add_argument("paths", nargs="*", help="files/dirs (default: src/repro)")
+    p_lint.add_argument("--json", action="store_true", help="JSON output")
+    p_lint.add_argument(
+        "--strict", action="store_true", help="exit 1 on any finding"
+    )
+    p_lint.add_argument(
+        "--rules", default=None, help="comma-separated rule subset (e.g. RPR001)"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_san = sub.add_parser(
+        "sanitize", help="race-sweep every registered device kernel"
+    )
+    p_san.add_argument("--json", action="store_true", help="JSON output")
+    p_san.add_argument(
+        "--strict", action="store_true", help="exit 1 on any hazard"
+    )
+    p_san.set_defaults(func=_cmd_sanitize)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Sanitizer sweep registry: every device kernel, several shapes.
+
+``python -m repro.analyze sanitize`` runs each registered case under
+:func:`repro.analyze.sanitizing` and reports the per-launch
+:class:`~repro.analyze.sanitizer.SanitizeReport`.  Problem batches come
+from the same generators the tests use (``kernels.batched.problems``),
+seeded, so a sweep is deterministic run-to-run.
+
+The per-thread kernels never touch shared memory (one problem per
+thread, registers only), so their cases exist to prove the sweep covers
+the whole device-kernel surface: they report ``sanitizer: None`` and
+count as trivially clean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["SweepCase", "run_sweep", "sweep_cases"]
+
+#: Matrix sizes covering a single panel (4), the Figure 8 sweet spot
+#: (8), and a ragged multi-panel shape (13).
+_SIZES = (4, 8, 13)
+_BATCH = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCase:
+    """One sanitizer run: a named kernel at one problem shape."""
+
+    kernel: str
+    shape: str
+    run: Callable[[], Optional[object]]  # returns SanitizeReport or None
+
+
+def _problems(n: int, seed: int):
+    from ..kernels.batched.problems import diagonally_dominant_batch, rhs_batch
+
+    a = diagonally_dominant_batch(_BATCH, n, seed=seed)
+    b = rhs_batch(_BATCH, n, seed=seed + 1)
+    return a, b
+
+
+def _hpd(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((_BATCH, n, n)).astype(np.float32)
+    return (a @ a.transpose(0, 2, 1) + n * np.eye(n, dtype=np.float32)).astype(
+        np.float32
+    )
+
+
+def _tall(m: int, n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((_BATCH, m, n)).astype(np.float32),
+        rng.standard_normal((_BATCH, m)).astype(np.float32),
+    )
+
+
+def sweep_cases() -> List[SweepCase]:
+    """Every (kernel, shape) pair the sanitize CLI exercises."""
+    from ..kernels.device.per_block_cholesky import per_block_cholesky
+    from ..kernels.device.per_block_gj import per_block_gauss_jordan
+    from ..kernels.device.per_block_lstsq import per_block_least_squares
+    from ..kernels.device.per_block_lu import per_block_lu
+    from ..kernels.device.per_block_lu_pivot import per_block_lu_pivot
+    from ..kernels.device.per_block_qr import per_block_qr, per_block_qr_solve
+    from ..kernels.device.per_thread import per_thread_factor
+
+    def launch_report(result):
+        return result.launch.sanitizer
+
+    cases: List[SweepCase] = []
+    for n in _SIZES:
+        seed = 100 + n
+
+        def lu(n=n, seed=seed):
+            a, _ = _problems(n, seed)
+            return launch_report(per_block_lu(a))
+
+        def lu_pivot(n=n, seed=seed):
+            a, _ = _problems(n, seed)
+            return launch_report(per_block_lu_pivot(a))
+
+        def qr(n=n, seed=seed):
+            a, _ = _tall(n + 4, n, seed)
+            return launch_report(per_block_qr(a))
+
+        def qr_solve(n=n, seed=seed):
+            a, b = _problems(n, seed)
+            return launch_report(per_block_qr_solve(a, b))
+
+        def gauss_jordan(n=n, seed=seed):
+            a, b = _problems(n, seed)
+            return launch_report(per_block_gauss_jordan(a, b))
+
+        def cholesky(n=n, seed=seed):
+            return launch_report(per_block_cholesky(_hpd(n, seed)))
+
+        def least_squares(n=n, seed=seed):
+            a, b = _tall(n + 4, n, seed)
+            return launch_report(per_block_least_squares(a, b))
+
+        def thread_qr(n=n, seed=seed):
+            a, _ = _problems(n, seed)
+            per_thread_factor(a, kind="qr")
+            return None  # registers only -- no shared memory to sanitize
+
+        def thread_lu(n=n, seed=seed):
+            a, _ = _problems(n, seed)
+            per_thread_factor(a, kind="lu")
+            return None
+
+        for kernel, fn in [
+            ("per_block_lu", lu),
+            ("per_block_lu_pivot", lu_pivot),
+            ("per_block_qr", qr),
+            ("per_block_qr_solve", qr_solve),
+            ("per_block_gauss_jordan", gauss_jordan),
+            ("per_block_cholesky", cholesky),
+            ("per_block_least_squares", least_squares),
+            ("per_thread_qr", thread_qr),
+            ("per_thread_lu", thread_lu),
+        ]:
+            m = n + 4 if kernel in ("per_block_qr", "per_block_least_squares") else n
+            cases.append(SweepCase(kernel=kernel, shape=f"{m}x{n}", run=fn))
+    return cases
+
+
+def run_sweep(cases: Optional[List[SweepCase]] = None) -> List[dict]:
+    """Run the sweep under the sanitizer; one result dict per case.
+
+    Each dict carries ``kernel``, ``shape``, ``ok``, and either the full
+    report (``hazards``, ``syncs``, ``redundant_syncs``, ...) or
+    ``report: None`` for shared-memory-free kernels.
+    """
+    from .sanitizer import sanitizing
+
+    results: List[dict] = []
+    for case in cases if cases is not None else sweep_cases():
+        with sanitizing(True):
+            report = case.run()
+        entry = {"kernel": case.kernel, "shape": case.shape}
+        if report is None:
+            entry.update(ok=True, report=None)
+        else:
+            entry.update(
+                ok=report.ok and report.redundant_syncs == 0,
+                report=report.to_dict(),
+            )
+        results.append(entry)
+    return results

@@ -62,6 +62,11 @@ class SharedMemory:
         self.words = int(words)
         self.batch = int(batch)
         self.dtype = np.dtype(dtype)
+        #: Diagnostic name and the engine's sanitizer, when one is
+        #: attached (see :meth:`attach_sanitizer`).  The untraced hot
+        #: path pays one ``is None`` check per functional access.
+        self.label = "shared"
+        self._sanitizer = None
         word_bytes = 8 if self.dtype.kind == "c" else 4
         footprint = self.words * word_bytes
         if footprint > device.shared_mem_per_sm:
@@ -74,12 +79,38 @@ class SharedMemory:
     # ------------------------------------------------------------------
     # Functional access (all-blocks-at-once, addressed per word slot)
     # ------------------------------------------------------------------
-    def read(self, index: np.ndarray | Sequence[int] | int) -> np.ndarray:
-        """Read word slots ``index`` in every block: shape (batch, ...)."""
+    def attach_sanitizer(self, sanitizer, label: Optional[str] = None) -> None:
+        """Route subsequent accesses through ``sanitizer`` (repro.analyze)."""
+        self._sanitizer = sanitizer
+        if label:
+            self.label = label
+        if sanitizer is not None:
+            sanitizer.register(self.label)
+
+    def read(
+        self,
+        index: np.ndarray | Sequence[int] | int,
+        lane: Optional[int] = None,
+    ) -> np.ndarray:
+        """Read word slots ``index`` in every block: shape (batch, ...).
+
+        ``lane`` optionally names the accessing thread lane for the race
+        sanitizer; ``None`` means a collective access by the owning
+        thread group (the common case for the lockstep kernels).
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.on_access(self, "read", index, lane)
         return self.data[:, index]
 
-    def write(self, index: np.ndarray | Sequence[int] | int, values) -> None:
+    def write(
+        self,
+        index: np.ndarray | Sequence[int] | int,
+        values,
+        lane: Optional[int] = None,
+    ) -> None:
         """Write ``values`` (broadcastable over the batch) at ``index``."""
+        if self._sanitizer is not None:
+            self._sanitizer.on_access(self, "write", index, lane)
         self.data[:, index] = values
 
     @property

@@ -35,10 +35,11 @@ from __future__ import annotations
 
 import dataclasses
 from contextlib import contextmanager
-from typing import Iterator, Literal, Optional
+from typing import Any, Iterator, Literal, Optional
 
 import numpy as np
 
+from ..analyze.sanitizer import SharedSanitizer, sanitize_enabled
 from ..observe.counters import CounterRegistry
 from ..observe.tracer import current_tracer
 from .clock import CycleBreakdown, CycleClock
@@ -78,6 +79,10 @@ class LaunchResult:
     counters: Optional[CounterRegistry] = None
     #: Threads per block of the launch (alpha_sync lookup key).
     threads: int = 0
+    #: Shared-memory sanitizer report
+    #: (:class:`repro.analyze.sanitizer.SanitizeReport`) when the engine
+    #: ran with ``sanitize=True``; ``None`` otherwise.
+    sanitizer: Optional[Any] = None
 
     @property
     def seconds_per_block(self) -> float:
@@ -117,6 +122,7 @@ class BlockEngine:
         account_overhead: bool = True,
         allow_spill: bool = True,
         trace: bool = False,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.device = device
         self.threads = int(threads_per_block)
@@ -136,6 +142,17 @@ class BlockEngine:
         if not allow_spill:
             self.registers.require_resident()
         self.warps = warps_in_block(device, self.threads)
+        # Opt-in shared-memory race sanitizer (repro.analyze): the
+        # default consults REPRO_SANITIZE / the sanitizing() override at
+        # construction time, so the hot path stays a None check.
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer: Optional[SharedSanitizer] = (
+            SharedSanitizer(phase_of=lambda: self.current_phase)
+            if sanitize
+            else None
+        )
+        self._phase_stack: list[str] = []
         self._shared_words = 0
         self._shared_arrays: list[SharedMemory] = []
         self._useful_flops = 0.0
@@ -168,11 +185,20 @@ class BlockEngine:
     # ------------------------------------------------------------------
     # Resources
     # ------------------------------------------------------------------
-    def allocate_shared(self, words: int, dtype=None) -> SharedMemory:
-        """Allocate a batched shared-memory array of ``words`` slots."""
+    def allocate_shared(
+        self, words: int, dtype=None, name: Optional[str] = None
+    ) -> SharedMemory:
+        """Allocate a batched shared-memory array of ``words`` slots.
+
+        ``name`` labels the array in sanitizer hazard reports; unnamed
+        arrays are numbered in allocation order.
+        """
         mem = SharedMemory(
             self.device, words, batch=self.batch, dtype=dtype or self.dtype
         )
+        mem.label = name or f"shared{len(self._shared_arrays)}"
+        if self.sanitizer is not None:
+            mem.attach_sanitizer(self.sanitizer)
         self._shared_words += words * (2 if np.dtype(mem.dtype).kind == "c" else 1)
         self._shared_arrays.append(mem)
         return mem
@@ -301,6 +327,8 @@ class BlockEngine:
         """Charge ``words_per_thread`` dependent shared accesses."""
         if words_per_thread < 0:
             raise ValueError("negative word count")
+        if self.sanitizer is not None:
+            self.sanitizer.note_traffic()
         tracer = self._tracer
         start = self.clock.now if tracer is not None else 0.0
         per_access = self.device.shared_latency + (degree - 1)
@@ -329,7 +357,15 @@ class BlockEngine:
             )
 
     def sync(self) -> None:
-        """Charge one ``__syncthreads`` at this block's thread count."""
+        """Charge one ``__syncthreads`` at this block's thread count.
+
+        The barrier is charged unconditionally -- even back-to-back
+        syncs pay full ``alpha_sync``, as on hardware; the sanitizer's
+        wasted-sync diagnostic (``repro_sync_redundant``) is how such
+        calls are audited, not elided.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync()
         tracer = self._tracer
         start = self.clock.now if tracer is not None else 0.0
         self.clock.charge(self.device.sync_latency(self.threads), "sync")
@@ -372,22 +408,32 @@ class BlockEngine:
             if tracer is not None:
                 tracer.counters.add("measurement.reads", 1)
 
+    @property
+    def current_phase(self) -> str:
+        """Innermost active :meth:`phase` label ("" outside any phase)."""
+        return self._phase_stack[-1] if self._phase_stack else ""
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Label subsequent charges for per-phase breakdowns (Figure 8).
 
         When a tracer is active the phase additionally becomes a trace
         span and a counter-registry stage, so per-phase event totals ride
-        along with the per-phase cycle totals.
+        along with the per-phase cycle totals.  The label is also what
+        the shared-memory sanitizer stamps on hazards detected inside.
         """
         tracer = self._tracer
         start = self.clock.now
-        if tracer is None:
-            with self.clock.phase(name):
+        self._phase_stack.append(name)
+        try:
+            if tracer is None:
+                with self.clock.phase(name):
+                    yield
+                return
+            with self.clock.phase(name), tracer.counters.stage(name):
                 yield
-            return
-        with self.clock.phase(name), tracer.counters.stage(name):
-            yield
+        finally:
+            self._phase_stack.pop()
         tracer.complete(
             f"phase:{name}", "phase", ts=start, dur=self.clock.now - start
         )
@@ -464,6 +510,9 @@ class BlockEngine:
             ),
             counters=self.counters,
             threads=self.threads,
+            sanitizer=(
+                self.sanitizer.finalize() if self.sanitizer is not None else None
+            ),
         )
         tracer = self._tracer
         if tracer is not None:

@@ -61,7 +61,7 @@ def cholesky_factor(a: np.ndarray, fast_math: bool = True) -> np.ndarray:
     for j in range(n):
         if j:
             row = chol[:, j, :j]
-            diag_acc = a[:, j, j].real - np.einsum(
+            diag_acc = a[:, j, j].real - np.einsum(  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
                 "bk,bk->b", row, row.conj()
             ).real
         else:
@@ -76,7 +76,7 @@ def cholesky_factor(a: np.ndarray, fast_math: bool = True) -> np.ndarray:
         chol[:, j, j] = pivot.astype(a.dtype)
         if j + 1 < n:
             if j:
-                lower = a[:, j + 1 :, j] - np.einsum(
+                lower = a[:, j + 1 :, j] - np.einsum(  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
                     "bik,bk->bi", chol[:, j + 1 :, :j], chol[:, j, :j].conj()
                 )
             else:
@@ -95,7 +95,7 @@ def cholesky_qr(a: np.ndarray, fast_math: bool = True) -> QrExplicit:
     """
     a = as_batch(a)
     check_tall_batch(a)
-    gram = np.einsum("bki,bkj->bij", a.conj(), a)
+    gram = np.einsum("bki,bkj->bij", a.conj(), a)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
     chol = cholesky_factor(gram, fast_math=fast_math)
     r = np.swapaxes(chol.conj(), 1, 2)
     # Q = A R^{-1}: transpose to R^T Q^T = A^T with lower-triangular R^T.
@@ -117,9 +117,9 @@ def gram_schmidt_qr(a: np.ndarray, fast_math: bool = True) -> QrExplicit:
     for j in range(n):
         v = a[:, :, j].copy()
         if j:
-            coeffs = np.einsum("bmk,bm->bk", q[:, :, :j].conj(), a[:, :, j])
+            coeffs = np.einsum("bmk,bm->bk", q[:, :, :j].conj(), a[:, :, j])  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
             r[:, :j, j] = coeffs
-            v = v - np.einsum("bmk,bk->bm", q[:, :, :j], coeffs)
+            v = v - np.einsum("bmk,bk->bm", q[:, :, :j], coeffs)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         norm = _norm(v, mode)
         r[:, j, j] = norm.astype(a.dtype)
         q[:, :, j] = mode.divide(v, _safe(norm)[:, None]).astype(a.dtype)
@@ -141,7 +141,7 @@ def modified_gram_schmidt_qr(a: np.ndarray, fast_math: bool = True) -> QrExplici
         r[:, j, j] = norm.astype(a.dtype)
         q[:, :, j] = mode.divide(v[:, :, j], _safe(norm)[:, None]).astype(a.dtype)
         if j + 1 < n:
-            coeffs = np.einsum("bm,bmk->bk", q[:, :, j].conj(), v[:, :, j + 1 :])
+            coeffs = np.einsum("bm,bmk->bk", q[:, :, j].conj(), v[:, :, j + 1 :])  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
             r[:, j, j + 1 :] = coeffs
             v[:, :, j + 1 :] -= q[:, :, j][:, :, None] * coeffs[:, None, :]
     return QrExplicit(q=q, r=r)

@@ -49,8 +49,8 @@ def build_t_factor(v: np.ndarray, taus: np.ndarray) -> np.ndarray:
         tau = taus[:, j]
         t[:, j, j] = tau
         if j:
-            z = np.einsum("bmk,bm->bk", v[:, :, :j].conj(), v[:, :, j])
-            t[:, :j, j] = -tau[:, None] * np.einsum("bkl,bl->bk", t[:, :j, :j], z)
+            z = np.einsum("bmk,bm->bk", v[:, :, :j].conj(), v[:, :, j])  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
+            t[:, :j, j] = -tau[:, None] * np.einsum("bkl,bl->bk", t[:, :j, :j], z)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
     return t
 
 
@@ -99,9 +99,9 @@ def blocked_qr_factor(
         t_factors.append(t)
         if col + nb < n:
             trailing = a[:, col:, col + nb :]
-            w = np.einsum("bmk,bmj->bkj", v.conj(), trailing)
-            w = np.einsum("bkl,blj->bkj", np.swapaxes(t.conj(), 1, 2), w)
-            trailing -= np.einsum("bmk,bkj->bmj", v, w)
+            w = np.einsum("bmk,bmj->bkj", v.conj(), trailing)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
+            w = np.einsum("bkl,blj->bkj", np.swapaxes(t.conj(), 1, 2), w)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
+            trailing -= np.einsum("bmk,bkj->bmj", v, w)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         col += nb
 
     return BlockedQrFactors(

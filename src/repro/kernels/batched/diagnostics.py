@@ -64,13 +64,13 @@ def lu_growth_factor(a: np.ndarray, lu: np.ndarray) -> np.ndarray:
         c.add("numerics.lu_growth_problems", growth.size)
         c.add(
             "numerics.lu_growth_warnings",
-            float((growth > GROWTH_WARN_THRESHOLD).sum()),
+            float((growth > GROWTH_WARN_THRESHOLD).sum()),  # noqa: RPR001 -- boolean count; integer accumulation is order-free
         )
         tracer.instant(
             "numerics.lu_growth", "numerics",
             problems=int(growth.size),
             max=float(finite.max()) if finite.size else float("inf"),
-            warnings=int((growth > GROWTH_WARN_THRESHOLD).sum()),
+            warnings=int((growth > GROWTH_WARN_THRESHOLD).sum()),  # noqa: RPR001 -- boolean count; integer accumulation is order-free
         )
     return growth
 
@@ -106,10 +106,10 @@ def condition_estimate(
     if np.iscomplexobj(r):
         v = v.astype(r.dtype)
     for _ in range(iterations):
-        w = np.einsum("bij,bj->bi", r, v)
-        w = np.einsum("bij,bj->bi", rh, w)
+        w = np.einsum("bij,bj->bi", r, v)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
+        w = np.einsum("bij,bj->bi", rh, w)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         v = normalize(w)
-    sigma_max = np.linalg.norm(np.einsum("bij,bj->bi", r, v), axis=1)
+    sigma_max = np.linalg.norm(np.einsum("bij,bj->bi", r, v), axis=1)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
 
     # sigma_min via inverse iteration: solve R^H (R x) = v each round.
     u = normalize(rng.standard_normal((batch, n)).astype(r.real.dtype))
@@ -119,7 +119,7 @@ def condition_estimate(
         y = solve_lower(rh, u, fast_math=False)
         x = solve_upper(r, y, fast_math=False)
         u = normalize(x)
-    rx = np.einsum("bij,bj->bi", r, u)
+    rx = np.einsum("bij,bj->bi", r, u)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
     sigma_min = np.linalg.norm(rx, axis=1)
 
     with np.errstate(divide="ignore"):

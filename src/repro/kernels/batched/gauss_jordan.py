@@ -83,7 +83,7 @@ def gauss_jordan_solve(
 
     if on_singular == "raise" and not_solved.any():
         raise SingularMatrixError(
-            f"{int(not_solved.sum())} of {batch} systems hit a zero pivot"
+            f"{int(not_solved.sum())} of {batch} systems hit a zero pivot"  # noqa: RPR001 -- boolean count; integer accumulation is order-free
         )
 
     x = aug[:, :, n:]

@@ -89,7 +89,7 @@ def lu_factor(
     not_solved |= a[:, n - 1, n - 1] == 0
     if on_singular == "raise" and not_solved.any():
         raise SingularMatrixError(
-            f"{int(not_solved.sum())} of {batch} matrices hit a zero pivot"
+            f"{int(not_solved.sum())} of {batch} matrices hit a zero pivot"  # noqa: RPR001 -- boolean count; integer accumulation is order-free
         )
     return LuResult(lu=a, not_solved=not_solved)
 

@@ -60,7 +60,7 @@ def batched_matmul(
             f"inner dimensions do not agree: {a_arr.shape} @ {b_arr.shape}"
         )
     out = a_arr @ b_arr
-    if alpha != 1.0:
+    if alpha != 1.0:  # noqa: RPR005 -- exact sentinel fast path, not a computed float
         out = out * np.asarray(alpha, dtype=out.dtype)
     if accumulate is not None:
         acc = np.asarray(accumulate)

@@ -104,7 +104,7 @@ def _householder_sweep(
         # Trailing update (and appended RHS columns) applies H^H =
         # I - conj(tau) v v^H, so that R = Q^H A with Q = H_0 ... H_{k-1}.
         trailing = aug[:, j:, j + 1 :]
-        w = np.einsum("bi,bij->bj", v.conj(), trailing)
+        w = np.einsum("bi,bij->bj", v.conj(), trailing)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         trailing -= tau.conj()[:, None, None] * v[:, :, None] * w[:, None, :]
 
         # Store the packed factor: beta on the diagonal, v below it.
@@ -127,7 +127,7 @@ def qr_unpack(factors: QrFactors) -> np.ndarray:
         v[:, 0] = 1
         v[:, 1:] = packed[:, j + 1 :, j]
         block = q[:, j:, j:]
-        w = np.einsum("bi,bij->bj", v.conj(), block)
+        w = np.einsum("bi,bij->bj", v.conj(), block)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         block -= tau[:, None, None] * v[:, :, None] * w[:, None, :]
     return q
 
@@ -147,7 +147,7 @@ def apply_qt(factors: QrFactors, b: np.ndarray) -> np.ndarray:
         v[:, 0] = 1
         v[:, 1:] = packed[:, j + 1 :, j]
         block = out[:, j:, :]
-        w = np.einsum("bi,bij->bj", v.conj(), block)
+        w = np.einsum("bi,bij->bj", v.conj(), block)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         block -= tau.conj()[:, None, None] * v[:, :, None] * w[:, None, :]
     return out[..., 0] if squeeze else out
 

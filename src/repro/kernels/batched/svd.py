@@ -42,7 +42,7 @@ def _rotate_columns(work: np.ndarray, v: np.ndarray, p: int, q: int) -> None:
     cq = work[:, :, q]
     app = (np.abs(cp) ** 2).sum(axis=1)
     aqq = (np.abs(cq) ** 2).sum(axis=1)
-    apq = np.einsum("bm,bm->b", cp.conj(), cq)
+    apq = np.einsum("bm,bm->b", cp.conj(), cq)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
     abs_apq = np.abs(apq)
     scale = np.maximum(app, aqq)
     live = abs_apq > 1e-30 * np.maximum(scale, 1e-300)
@@ -77,7 +77,7 @@ def _rotate_columns(work: np.ndarray, v: np.ndarray, p: int, q: int) -> None:
 
 def _off_diagonal_coupling(work: np.ndarray) -> float:
     """Largest normalized |c_p^H c_q| over the batch."""
-    gram = np.einsum("bmi,bmj->bij", work.conj(), work)
+    gram = np.einsum("bmi,bmj->bij", work.conj(), work)  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
     n = gram.shape[1]
     diag = np.sqrt(np.abs(gram[:, np.arange(n), np.arange(n)]).clip(min=1e-300))
     norm = diag[:, :, None] * diag[:, None, :]

@@ -53,7 +53,7 @@ def solve_upper(r: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.ndar
     n = r.shape[1]
     for i in range(n - 1, -1, -1):
         if i + 1 < n:
-            x[:, i, :] -= np.einsum("bk,bkr->br", r[:, i, i + 1 :], x[:, i + 1 :, :])
+            x[:, i, :] -= np.einsum("bk,bkr->br", r[:, i, i + 1 :], x[:, i + 1 :, :])  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         x[:, i, :] = mode.divide(x[:, i, :], r[:, i, i][:, None])
     return _restore(x, squeeze, unbatch)
 
@@ -65,7 +65,7 @@ def solve_lower(lower: np.ndarray, b: np.ndarray, fast_math: bool = True) -> np.
     n = lower.shape[1]
     for i in range(n):
         if i > 0:
-            x[:, i, :] -= np.einsum("bk,bkr->br", lower[:, i, :i], x[:, :i, :])
+            x[:, i, :] -= np.einsum("bk,bkr->br", lower[:, i, :i], x[:, :i, :])  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
         x[:, i, :] = mode.divide(x[:, i, :], lower[:, i, i][:, None])
     return _restore(x, squeeze, unbatch)
 
@@ -80,5 +80,5 @@ def solve_lower_unit(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
     lower, x, squeeze, unbatch = _prep(lower, b)
     n = lower.shape[1]
     for i in range(1, n):
-        x[:, i, :] -= np.einsum("bk,bkr->br", lower[:, i, :i], x[:, :i, :])
+        x[:, i, :] -= np.einsum("bk,bkr->br", lower[:, i, :i], x[:, :i, :])  # noqa: RPR001 -- contracts a fixed per-problem axis; chunking the batch cannot reorder it
     return _restore(x, squeeze, unbatch)

@@ -110,6 +110,7 @@ class BlockKernel:
         fast_math: bool = True,
         account_overhead: bool = True,
         extra_shared_words: int = 0,
+        sanitize: Optional[bool] = None,
     ) -> None:
         a = np.asarray(a)
         if a.ndim == 2:
@@ -133,14 +134,21 @@ class BlockKernel:
             dtype=self.dtype,
             fast_math=fast_math,
             account_overhead=account_overhead,
+            sanitize=sanitize,
         )
         # Shared memory: the l (column, length m) and u/w (row, length n)
         # vectors plus a scalar slot, as in Listings 5-7.
-        self.sh_col = self.engine.allocate_shared(self.layout.hreg * self.r)
-        self.sh_row = self.engine.allocate_shared(self.layout.wreg * self.r)
-        self.sh_scalar = self.engine.allocate_shared(4)
+        self.sh_col = self.engine.allocate_shared(
+            self.layout.hreg * self.r, name="sh_col"
+        )
+        self.sh_row = self.engine.allocate_shared(
+            self.layout.wreg * self.r, name="sh_row"
+        )
+        self.sh_scalar = self.engine.allocate_shared(4, name="sh_scalar")
         if extra_shared_words:
-            self.sh_extra = self.engine.allocate_shared(extra_shared_words)
+            self.sh_extra = self.engine.allocate_shared(
+                extra_shared_words, name="sh_extra"
+            )
 
         # Load the matrix into the register tiles (Listing 4).
         # Loads and stores both run at the copy-stream rate: the loader's

@@ -110,9 +110,13 @@ def _factor_columns(kernel: BlockKernel, ncols: int) -> np.ndarray:
             eng.charge_flops(N * N * cost, useful_flops=credit * (m - j) * (n - 1 - j))
             eng.sync()
             kernel.serial_reduction(np.zeros((kernel.batch, r), dtype=real_dtype))
-            eng.sync()
+            # w must be published before the closing barrier: the rank-1
+            # phase reads it from shared, and a write->read in one sync
+            # epoch is a race (the sanitizer flags it).  Same charges,
+            # same cycle totals -- only the barrier placement moves.
             wfull *= taus[:, j][:, None].conj()
             kernel.sh_row.write(np.arange(n), wfull)
+            eng.sync()
 
         with eng.phase(f"panel{panel}:Rank-1 Update"):
             # A[j:, j+1:] -= v w: read w (N beta), N^2 FMAs, one sync.

@@ -128,7 +128,7 @@ class CpuModel:
             base = table[kind]
         except KeyError:
             raise ValueError(f"unknown factorization kind: {kind!r}") from None
-        if self._scale == 1.0:
+        if self._scale == 1.0:  # noqa: RPR005 -- exact sentinel fast path, not a computed float
             return base
         return dataclasses.replace(
             base,

@@ -56,13 +56,13 @@ def scale_parameters(
         if factor <= 0:
             raise ValueError(f"{name} scale factor must be positive, got {factor}")
     device = params.device
-    if alpha_sync != 1.0:
+    if alpha_sync != 1.0:  # noqa: RPR005 -- exact sentinel fast path, not a computed float
         device = dataclasses.replace(
             device,
             sync_base=int(round(device.sync_base * alpha_sync)),
             sync_per_warp=max(1, int(round(device.sync_per_warp * alpha_sync))),
         )
-    if gamma != 1.0:
+    if gamma != 1.0:  # noqa: RPR005 -- exact sentinel fast path, not a computed float
         device = dataclasses.replace(
             device, pipeline_latency=int(round(device.pipeline_latency * gamma))
         )

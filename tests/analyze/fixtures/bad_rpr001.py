@@ -1,0 +1,16 @@
+"""RPR001 golden fixture -- expected findings: 3 (lines 7, 8, 9)."""
+
+import numpy as np
+
+
+def bad_reductions(a, b):
+    total = np.einsum("bi,bi->b", a, b)
+    proj = a.dot(b)
+    mass = a.sum()
+    return total, proj, mass
+
+
+def good_reductions(a, b):
+    pairwise = np.einsum("bi,bj->bij", a, b)  # non-reducing outer: clean
+    per_problem = (a * b).sum(axis=1)  # explicit axis: clean
+    return pairwise, per_problem

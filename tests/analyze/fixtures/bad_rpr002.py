@@ -1,0 +1,10 @@
+"""RPR002 golden fixture -- expected findings: 1 (line 5)."""
+
+
+def bad_publish(kernel, index, values):
+    kernel.sh_col.write(index, values)
+
+
+def good_publish(kernel, index, values):
+    kernel.sh_col.write(index, values)
+    kernel.engine.sync()

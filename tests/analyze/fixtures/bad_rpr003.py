@@ -1,0 +1,20 @@
+"""RPR003 golden fixture -- expected findings: 4 (lines 10, 11, 12, 13)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def bad_entropy(registry):
+    stamp = time.time()
+    noise = np.random.rand(4)
+    jitter = random.random()
+    names = [key for key in registry._families]
+    return stamp, noise, jitter, names
+
+
+def good_entropy(registry, rng, now):
+    noise = rng.standard_normal(4)
+    names = sorted(registry._families)  # sorted(): deterministic order
+    return now, noise, names

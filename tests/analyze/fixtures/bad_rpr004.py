@@ -1,0 +1,9 @@
+"""RPR004 golden fixture -- expected findings: 1 (line 9).
+
+The rule is file-scoped (one ``charge_shared`` anywhere absolves the
+file), so the paired good example lives in ``docs/analyze.md``.
+"""
+
+
+def bad_alloc(engine):
+    return engine.allocate_shared(64)

@@ -1,0 +1,11 @@
+"""RPR005 golden fixture -- expected findings: 2 (lines 5, 7)."""
+
+
+def bad_compare(x):
+    if x == 0.5:
+        return True
+    return x != 1.0
+
+
+def good_compare(x, tol):
+    return abs(x - 0.5) < tol
