@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.kernels.device",
     "repro.approaches",
     "repro.runtime",
+    "repro.resilience",
     "repro.tiled",
     "repro.stap",
     "repro.observe",
@@ -36,6 +37,7 @@ docstring line of each export.  Regenerate with::
 Narrative guides: [model derivations](model.md) --
 [observability (tracing, counters, attribution)](observability.md) --
 [batch runtime (sharded execution, caches, CI gate)](runtime.md) --
+[resilience (retries, quarantine, checkpoints, fault injection)](resilience.md) --
 [correctness analysis (race sanitizer, protocol linter)](analyze.md).
 """
 

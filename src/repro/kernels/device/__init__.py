@@ -5,7 +5,13 @@ while charging every hardware event to the block engine -- the source of
 this repo's "measured" curves.
 """
 
-from .base import BlockKernel, DeviceKernelResult
+from .base import (
+    BREAKDOWN_DETECTORS,
+    BlockKernel,
+    DeviceKernelResult,
+    breakdown_detector,
+    nonfinite_breakdowns,
+)
 from .per_block_cholesky import cholesky_flops, per_block_cholesky
 from .per_block_gj import per_block_gauss_jordan
 from .per_block_lstsq import per_block_least_squares
@@ -22,8 +28,11 @@ from .thread_program import (
 )
 
 __all__ = [
+    "BREAKDOWN_DETECTORS",
     "BlockKernel",
     "DeviceKernelResult",
+    "breakdown_detector",
+    "nonfinite_breakdowns",
     "cholesky_flops",
     "per_block_cholesky",
     "per_block_gauss_jordan",

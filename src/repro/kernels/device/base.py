@@ -20,7 +20,7 @@ factorization uses:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -30,7 +30,44 @@ from ...gpu.simt import BlockEngine, LaunchResult
 from ...layouts.cyclic2d import Cyclic2D
 from ...model.block_config import BlockConfig, block_config
 
-__all__ = ["BlockKernel", "DeviceKernelResult", "batch_dot"]
+__all__ = [
+    "BREAKDOWN_DETECTORS",
+    "BlockKernel",
+    "DeviceKernelResult",
+    "batch_dot",
+    "breakdown_detector",
+    "nonfinite_breakdowns",
+]
+
+#: Per-problem breakdown detectors keyed by runtime op name.  A detector
+#: takes a kernel's raw ``(output, extra)`` and returns ``{batch index:
+#: reason}`` for every problem whose factorization broke down (zero
+#: pivot, non-PSD input, non-finite output...).  The runtime's numerical
+#: quarantine (:mod:`repro.resilience.quarantine`) consults this registry
+#: so one singular matrix fails *its slot*, never the batch.
+BREAKDOWN_DETECTORS: Dict[str, Callable[..., Dict[int, str]]] = {}
+
+
+def breakdown_detector(op: str):
+    """Register a breakdown detector for runtime op ``op`` (decorator)."""
+
+    def register(fn):
+        BREAKDOWN_DETECTORS[op] = fn
+        return fn
+
+    return register
+
+
+def nonfinite_breakdowns(output: np.ndarray, extra=None) -> Dict[int, str]:
+    """Default detector: flag problems whose output holds Inf/NaN.
+
+    A factorization that produced a non-finite entry is unusable no
+    matter which algorithm ran, so this is the floor every per-op
+    detector builds on.
+    """
+    flat = np.asarray(output).reshape(output.shape[0], -1)
+    bad = ~np.isfinite(flat).all(axis=1)
+    return {int(i): "non-finite" for i in np.nonzero(bad)[0]}
 
 
 def batch_dot(x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -19,9 +19,24 @@ import numpy as np
 from ...gpu.device import QUADRO_6000, DeviceSpec
 from ...model.block_config import BlockConfig
 from ..batched._arith import arithmetic_mode
-from .base import BlockKernel, DeviceKernelResult
+from .base import (
+    BlockKernel,
+    DeviceKernelResult,
+    breakdown_detector,
+    nonfinite_breakdowns,
+)
 
 __all__ = ["per_block_cholesky", "cholesky_flops"]
+
+
+@breakdown_detector("cholesky")
+def _cholesky_breakdowns(output: np.ndarray, extra) -> dict:
+    """Quarantine hook: ``extra`` flags problems that were not HPD."""
+    found = nonfinite_breakdowns(output)
+    if extra is not None:
+        for i in np.nonzero(np.asarray(extra, dtype=bool))[0]:
+            found[int(i)] = "not-positive-definite"
+    return found
 
 
 def cholesky_flops(n: int) -> float:

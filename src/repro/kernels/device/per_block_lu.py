@@ -19,9 +19,24 @@ from ...gpu.device import QUADRO_6000, DeviceSpec
 from ...model.block_config import BlockConfig
 from ...model.flops import lu_flops
 from ..batched._arith import arithmetic_mode
-from .base import BlockKernel, DeviceKernelResult
+from .base import (
+    BlockKernel,
+    DeviceKernelResult,
+    breakdown_detector,
+    nonfinite_breakdowns,
+)
 
 __all__ = ["per_block_lu"]
+
+
+@breakdown_detector("lu")
+def _lu_breakdowns(output: np.ndarray, extra) -> dict:
+    """Quarantine hook: ``extra`` is the kernel's zero-pivot flag array."""
+    found = nonfinite_breakdowns(output)
+    if extra is not None:
+        for i in np.nonzero(np.asarray(extra, dtype=bool))[0]:
+            found[int(i)] = "zero-pivot"
+    return found
 
 
 def per_block_lu(

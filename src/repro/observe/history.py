@@ -58,6 +58,10 @@ _LOWER_IS_BETTER = (
     "dropped",
     "fallback",
     "nonfinite",
+    "failure",
+    "retr",
+    "timeout",
+    "corrupt",
 )
 
 

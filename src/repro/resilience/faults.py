@@ -1,0 +1,222 @@
+"""Deterministic fault injection for the batch runtime.
+
+Every recovery path in :mod:`repro.resilience` is exercised in CI by
+*injecting* the failure it guards against, not by trusting the code:
+
+* ``crash``    -- the chunk attempt raises :class:`InjectedCrash` inside
+  the worker (a clean, picklable failure);
+* ``kill``     -- the worker process calls ``os._exit``; the pool breaks
+  (``BrokenProcessPool``) and must be rebuilt;
+* ``hang``     -- the attempt sleeps past its deadline, so the
+  supervisor has to cancel it and kill the worker;
+* ``corrupt``  -- the chunk's output array is mangled *after* its
+  checksum was computed, simulating transport corruption (the
+  supervisor detects the mismatch and retries);
+* ``truncate`` -- a just-written cache/checkpoint file is truncated,
+  simulating a killed writer (the next reader must treat it as a cold
+  miss, never raise).
+
+A :class:`FaultPlan` is fully deterministic: victims are either named
+explicitly (``crash@1,3``) or drawn from a seeded
+:class:`random.Random`, and each :class:`FaultSpec` fires on attempts
+``0 .. count-1`` of its victim chunks, then stops -- so a retried
+attempt succeeds and the recovery machinery, not luck, completes the
+batch.
+
+Activation: ``BatchRuntime(faults=...)`` (a plan, or a spec string), or
+the ``REPRO_FAULTS`` environment variable.  Spec grammar, semicolon
+separated::
+
+    REPRO_FAULTS="crash@0;hang@2:sleep=30;corrupt:rate=0.25,seed=7"
+
+``kind[@chunks][:key=val,...]`` where ``chunks`` is a comma list of
+chunk indices; omitted, victims are sampled per chunk at ``rate``
+(default 1.0) from ``seed`` (default 0).  Keys: ``count`` (attempts to
+fire, default 1; ``inf`` for always), ``sleep`` (hang seconds, default
+30), ``rate``, ``seed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import random
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "parse_faults",
+    "plan_from_env",
+]
+
+FAULT_KINDS = ("crash", "kill", "hang", "corrupt", "truncate")
+
+
+class InjectedCrash(RuntimeError):
+    """The failure raised by a ``crash`` fault (picklable on purpose)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One seeded injector: *which* failure, *where*, and *how often*."""
+
+    kind: str
+    #: Explicit victim chunk indices; ``None`` samples at :attr:`rate`.
+    chunks: Optional[tuple[int, ...]] = None
+    #: Attempts (0-based) on which the fault fires: ``attempt < count``.
+    count: float = 1
+    #: Victim sampling probability when :attr:`chunks` is ``None``.
+    rate: float = 1.0
+    #: Seed for victim sampling (per spec, so specs are independent).
+    seed: int = 0
+    #: Hang duration in seconds (``hang`` only).
+    sleep: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be in [0, 1]")
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+
+    def victims(self, nchunks: int) -> set[int]:
+        """The chunk indices this spec targets in an ``nchunks`` plan.
+
+        Deterministic: explicit indices pass through (out-of-range ones
+        are dropped), sampled victims come from one seeded stream in
+        chunk order.
+        """
+        if self.chunks is not None:
+            return {c for c in self.chunks if 0 <= c < nchunks}
+        rng = random.Random(self.seed)
+        return {i for i in range(nchunks) if rng.random() < self.rate}
+
+    def fires(self, chunk: int, attempt: int, nchunks: int) -> bool:
+        return attempt < self.count and chunk in self.victims(nchunks)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` applied to one launch.
+
+    The plan travels to the workers inside each chunk payload (it is a
+    small frozen dataclass, cheap to pickle), so crash/hang/corrupt
+    faults happen where the real failure would: in the worker process.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def _active(self, kind: str, chunk: int, attempt: int, nchunks: int):
+        for spec in self.specs:
+            if spec.kind == kind and spec.fires(chunk, attempt, nchunks):
+                return spec
+        return None
+
+    # -- worker-side hooks --------------------------------------------
+    def apply_pre(self, chunk: int, attempt: int, nchunks: int) -> None:
+        """Fire crash/kill/hang faults before the kernel runs."""
+        if self._active("kill", chunk, attempt, nchunks) is not None:
+            os._exit(86)  # hard worker death -> BrokenProcessPool
+        spec = self._active("hang", chunk, attempt, nchunks)
+        if spec is not None:
+            import time
+
+            time.sleep(spec.sleep)
+        if self._active("crash", chunk, attempt, nchunks) is not None:
+            raise InjectedCrash(
+                f"injected crash: chunk {chunk} attempt {attempt}"
+            )
+
+    def apply_corrupt(
+        self, chunk: int, attempt: int, nchunks: int, output: np.ndarray
+    ) -> np.ndarray:
+        """Mangle ``output`` after its checksum was taken (or return as-is)."""
+        if self._active("corrupt", chunk, attempt, nchunks) is None:
+            return output
+        mangled = np.array(output, copy=True)
+        flat = mangled.reshape(-1)
+        if flat.size:
+            flat[:: max(1, flat.size // 7)] = 0
+        return mangled
+
+    # -- file-side hook -----------------------------------------------
+    def mangle_file(self, path, chunk: int = 0, attempt: int = 0) -> bool:
+        """Truncate a just-written file when a ``truncate`` fault is live.
+
+        Returns whether the file was mangled.  ``chunk`` indexes which
+        store write this is (checkpoint chunk index; 0 for caches).
+        """
+        spec = self._active("truncate", chunk, attempt, nchunks=chunk + 1)
+        if spec is None:
+            return False
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.truncate(max(1, size // 2))
+        except OSError:
+            return False
+        return True
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    specs: list[FaultSpec] = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        head, _, opts = part.partition(":")
+        kind, _, chunk_list = head.partition("@")
+        kwargs: dict = {"kind": kind.strip()}
+        if chunk_list:
+            kwargs["chunks"] = tuple(
+                int(c) for c in chunk_list.split(",") if c.strip()
+            )
+        for item in filter(None, (o.strip() for o in opts.split(","))):
+            key, _, value = item.partition("=")
+            key = key.strip()
+            if key == "count":
+                kwargs["count"] = math.inf if value == "inf" else int(value)
+            elif key in ("rate", "sleep"):
+                kwargs[key] = float(value)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(f"unknown fault option {key!r} in {part!r}")
+        specs.append(FaultSpec(**kwargs))
+    return FaultPlan(tuple(specs))
+
+
+def plan_from_env(environ=None) -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+    env = os.environ if environ is None else environ
+    spec = env.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    plan = parse_faults(spec)
+    return plan or None
+
+
+def resolve_faults(
+    faults: "FaultPlan | FaultSpec | str | Sequence[FaultSpec] | None",
+) -> Optional[FaultPlan]:
+    """Normalize the ``BatchRuntime(faults=...)`` argument to a plan."""
+    if faults is None:
+        return plan_from_env()
+    if isinstance(faults, FaultPlan):
+        return faults or None
+    if isinstance(faults, FaultSpec):
+        return FaultPlan((faults,))
+    if isinstance(faults, str):
+        return parse_faults(faults) or None
+    return FaultPlan(tuple(faults)) or None

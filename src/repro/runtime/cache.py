@@ -107,8 +107,11 @@ def _version_stamp() -> str:
 class _JsonStore:
     """One atomic JSON document: load-validate, replace-on-write."""
 
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path, cache: str = "") -> None:
         self.path = path
+        #: Label for ``repro_cache_corrupt_total`` when the file is
+        #: undecodable (empty string for unlabeled ad-hoc stores).
+        self.cache = cache
 
     def load(self) -> Optional[dict]:
         return self.load_status()[0]
@@ -116,21 +119,29 @@ class _JsonStore:
     def load_status(self) -> tuple[Optional[dict], str]:
         """``(doc, outcome)`` where outcome is ``hit``/``miss``/``stale``.
 
-        A *miss* is an absent file (cold cache); *stale* is a file that
-        exists but cannot be served -- unparseable, or written by a
-        different library version / schema revision.
+        A *miss* is an absent file (cold cache) **or** an undecodable
+        one -- truncated JSON, binary garbage -- which additionally
+        counts into ``repro_cache_corrupt_total``; *stale* is a valid
+        document written by a different library version / schema
+        revision.  No outcome ever raises to the caller.
         """
         try:
             text = self.path.read_text()
         except OSError:
             return None, "miss"
+        except UnicodeDecodeError:
+            return None, self._corrupt()
         try:
             doc = json.loads(text)
         except ValueError:
-            return None, "stale"
+            return None, self._corrupt()
         if not isinstance(doc, dict) or doc.get("version") != _version_stamp():
             return None, "stale"
         return doc, "hit"
+
+    def _corrupt(self) -> str:
+        counter_inc("repro_cache_corrupt_total", cache=self.cache)
+        return "miss"
 
     def store(self, body: dict) -> None:
         doc = {"version": _version_stamp(), **body}
@@ -162,7 +173,7 @@ class CalibrationCache:
     def _store(self, device: DeviceSpec) -> tuple[_JsonStore, str]:
         fp = device_fingerprint(device)
         path = self.directory / f"calibration-{fp[:16]}.json"
-        return _JsonStore(path), fp
+        return _JsonStore(path, cache="calibration"), fp
 
     def path_for(self, device: DeviceSpec) -> Path:
         """Where this device's calibration lands on disk."""
@@ -230,7 +241,8 @@ class DispatchCache:
         self.persistent = persistent
         self._fingerprint = device_fingerprint(device)
         self._disk = _JsonStore(
-            self.directory / f"dispatch-{self._fingerprint[:16]}.json"
+            self.directory / f"dispatch-{self._fingerprint[:16]}.json",
+            cache="dispatch",
         )
         self._memory: Optional[dict] = None
         self._params_fp = "unbound"

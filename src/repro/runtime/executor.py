@@ -46,7 +46,18 @@ from ..model.parameters import ModelParameters
 from ..observe import metrics as _metrics
 from ..observe.history import RunHistory, run_record
 from ..observe.tracer import current_tracer, tracing
-from .cache import CalibrationCache, DispatchCache
+from ..resilience.checkpoint import CheckpointStore, batch_fingerprint
+from ..resilience.faults import resolve_faults
+from ..resilience.policy import DEFAULT_RETRY_POLICY, RetryPolicy
+from ..resilience.quarantine import quarantine_outcomes
+from ..resilience.supervisor import (
+    ChunkFailedError,
+    SuperviseStats,
+    outcome_checksum,
+    supervise_pool,
+    supervise_serial,
+)
+from .cache import CalibrationCache, DispatchCache, cache_dir
 from .merge import BatchReport, ChunkOutcome, merge_outcomes
 from .sharding import DEFAULT_CHUNK_COST, ProblemBatch, plan_chunks
 
@@ -76,7 +87,15 @@ def default_workers() -> int:
 
 
 def _execute_chunk(
-    op: str, data: np.ndarray, kwargs: dict, traced: bool
+    op: str,
+    data: np.ndarray,
+    kwargs: dict,
+    traced: bool,
+    chunk_index: int = 0,
+    attempt: int = 0,
+    nchunks: int = 1,
+    faults=None,
+    checksum: bool = True,
 ) -> ChunkOutcome:
     """Run one chunk (in a worker or inline) and package the outcome.
 
@@ -85,10 +104,18 @@ def _execute_chunk(
     the outcome -- inline execution takes the same detour, so the
     launch-level fold (and therefore every metric total) is identical
     between the serial and sharded paths.
+
+    ``chunk_index``/``attempt`` identify this execution to the optional
+    :class:`~repro.resilience.faults.FaultPlan`, which fires its seeded
+    crash/hang/corrupt injectors here -- in the worker, where the real
+    failure would happen.  ``checksum`` ships a content hash of the
+    numerical payload so the supervisor can detect transport corruption.
     """
     kernel = _kernel_registry().get(op)
     if kernel is None:
         raise ValueError(f"unknown batched op {op!r}; supported: {supported_ops()}")
+    if faults is not None:
+        faults.apply_pre(chunk_index, attempt, nchunks)
     local_metrics = previous_metrics = None
     if _metrics.metrics_enabled():
         local_metrics = _metrics.MetricsRegistry()
@@ -109,8 +136,14 @@ def _execute_chunk(
     finally:
         if local_metrics is not None:
             _metrics.set_default_registry(previous_metrics)
+    digest = outcome_checksum(result.output, result.extra) if checksum else None
+    output = result.output
+    if faults is not None:
+        # Corruption is injected *after* the checksum, simulating a
+        # payload mangled in transit; the supervisor must catch it.
+        output = faults.apply_corrupt(chunk_index, attempt, nchunks, output)
     return ChunkOutcome(
-        output=result.output,
+        output=output,
         extra=result.extra,
         launch=result.launch,
         wall_s=time.perf_counter() - start,
@@ -119,6 +152,7 @@ def _execute_chunk(
         pid=os.getpid(),
         dropped=dropped,
         metrics=local_metrics,
+        checksum=digest,
     )
 
 
@@ -149,6 +183,24 @@ class BatchRuntime:
         ``multiprocessing`` start method; default prefers ``fork`` for
         its negligible startup cost, falling back to the platform
         default where unavailable.
+    retry_policy:
+        Per-chunk :class:`~repro.resilience.policy.RetryPolicy`
+        (deadline, retry count, backoff); the default retries twice with
+        no deadline.
+    faults:
+        Deterministic fault injection: a
+        :class:`~repro.resilience.faults.FaultPlan`, a single
+        :class:`~repro.resilience.faults.FaultSpec`, or a spec string
+        (``"crash@0;hang@2:sleep=30"``).  ``None`` reads
+        ``REPRO_FAULTS`` from the environment; no faults otherwise.
+    checkpoint:
+        Opt-in chunk journal for resumable runs: ``True`` (under the
+        cache root), a directory path, or a ready
+        :class:`~repro.resilience.checkpoint.CheckpointStore`.
+    resilience:
+        ``False`` bypasses the supervisor, checksums, and quarantine
+        entirely (the pre-resilience pool) -- the escape hatch the
+        overhead tripwire in ``bench_runtime_scaling`` measures against.
     """
 
     def __init__(
@@ -160,6 +212,10 @@ class BatchRuntime:
         cache_directory=None,
         history=None,
         start_method: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults=None,
+        checkpoint=None,
+        resilience: bool = True,
     ) -> None:
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.chunk_cost = float(chunk_cost)
@@ -175,7 +231,28 @@ class BatchRuntime:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self.retry_policy = (
+            DEFAULT_RETRY_POLICY if retry_policy is None else retry_policy
+        )
+        self.faults = resolve_faults(faults)
+        self.resilience = bool(resilience)
+        self.checkpoint = self._resolve_checkpoint(
+            checkpoint, cache_directory, self.faults
+        )
         self._params: Optional[ModelParameters] = None
+
+    @staticmethod
+    def _resolve_checkpoint(
+        checkpoint, cache_directory, faults
+    ) -> Optional[CheckpointStore]:
+        if checkpoint in (None, False):
+            return None
+        if isinstance(checkpoint, CheckpointStore):
+            return checkpoint
+        if checkpoint is True:
+            root = Path(cache_directory) if cache_directory else cache_dir()
+            return CheckpointStore(root / "checkpoints", faults=faults)
+        return CheckpointStore(Path(checkpoint), faults=faults)
 
     @staticmethod
     def _resolve_history(
@@ -236,7 +313,22 @@ class BatchRuntime:
         every kernel launch.  When a tracer is active in the calling
         thread, worker-side events and counters are folded back into it
         with per-chunk ``shard``/``worker`` tags.
+
+        Failure handling (see :mod:`repro.resilience`): chunk attempts
+        are supervised (deadline + retries + pool rebuild), numerical
+        breakdowns quarantine their problem slot onto
+        ``report.failures``, and an attached checkpoint store lets a
+        killed run resume from its last journaled chunk.
         """
+        known = supported_ops()
+        for group in batch.groups:
+            # Validate before submission: an unknown op must fail the
+            # caller with a clean ValueError, not surface as a pickled
+            # worker exception (and a spurious serial-fallback warning).
+            if group.op not in known:
+                raise ValueError(
+                    f"unknown batched op {group.op!r}; supported: {known}"
+                )
         kwargs = dict(kernel_kwargs)
         kwargs.setdefault("device", self.device)
         chunks = plan_chunks(batch, self.chunk_cost)
@@ -252,25 +344,86 @@ class BatchRuntime:
             for chunk in chunks
         ]
 
+        resumed: dict[int, ChunkOutcome] = {}
+        record = None
+        if self.resilience and self.checkpoint is not None:
+            fingerprint = batch_fingerprint(batch, self.chunk_cost, kwargs)
+            resumed = {
+                index: outcome
+                for index, outcome in self.checkpoint.resume(fingerprint).items()
+                if index < len(chunks)
+            }
+
+            def record(index: int, outcome: ChunkOutcome) -> None:
+                self.checkpoint.record(fingerprint, index, outcome)
+
+        entries = [
+            (index, payloads[index])
+            for index in range(len(chunks))
+            if index not in resumed
+        ]
+
         start = time.perf_counter()
-        outcomes: Optional[list[ChunkOutcome]] = None
+        stats = SuperviseStats()
+        by_index: Optional[dict[int, ChunkOutcome]] = None
         mode = "serial"
-        if self.workers > 1 and len(chunks) > 1:
-            try:
-                outcomes = self._run_pool(payloads)
-                mode = "process"
-            except Exception as exc:
-                warnings.warn(
-                    f"sharded execution failed ({exc!r}); "
-                    "degrading to serial in-process execution",
-                    RuntimeWarning,
-                    stacklevel=2,
+        if not self.resilience:
+            by_index, mode = self._run_unsupervised(payloads)
+        elif not entries:
+            by_index = {}
+            mode = "resumed"
+        else:
+            if self.workers > 1 and len(entries) > 1:
+                try:
+                    by_index, stats = self._run_pool(
+                        entries, record, nchunks=len(chunks)
+                    )
+                    mode = "process"
+                except ChunkFailedError:
+                    # Retries and the inline rescue are already spent;
+                    # a serial re-run cannot fix this chunk and would
+                    # re-execute completed ones.
+                    raise
+                except Exception as exc:
+                    warnings.warn(
+                        f"sharded execution failed ({exc!r}); "
+                        "degrading to serial in-process execution",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    by_index = None
+                    mode = "serial-fallback"
+            if by_index is None:
+                if record is not None and mode == "serial-fallback":
+                    # The failed pool pass may have journaled chunks.
+                    more = {
+                        index: outcome
+                        for index, outcome in self.checkpoint.resume(
+                            fingerprint
+                        ).items()
+                        if index < len(chunks)
+                    }
+                    resumed.update(more)
+                    entries = [e for e in entries if e[0] not in resumed]
+                by_index, serial_stats = supervise_serial(
+                    entries,
+                    execute=_execute_chunk,
+                    policy=self.retry_policy,
+                    faults=self.faults,
+                    nchunks=len(chunks),
+                    on_complete=record,
                 )
-                outcomes = None
-                mode = "serial-fallback"
-        if outcomes is None:
-            outcomes = [_execute_chunk(*payload) for payload in payloads]
+                stats.events.extend(serial_stats.events)
+        by_index.update(resumed)
+        outcomes = [by_index[index] for index in range(len(chunks))]
+        failures = (
+            quarantine_outcomes(batch, chunks, outcomes) if self.resilience else []
+        )
         wall_s = time.perf_counter() - start
+        if self.resilience and self.checkpoint is not None:
+            # The merge below is pure; once every outcome is in hand the
+            # journal has served its purpose.
+            self.checkpoint.clear()
 
         if traced:
             for chunk, outcome in zip(chunks, outcomes):
@@ -281,6 +434,21 @@ class BatchRuntime:
                     dropped=outcome.dropped,
                     shard=chunk.index,
                     worker=outcome.pid,
+                )
+            for kind, args in stats.events:
+                tracer.instant(f"resilience.{kind}", "resilience", **args)
+            if resumed:
+                tracer.instant(
+                    "resilience.resume",
+                    "resilience",
+                    skipped=len(resumed),
+                    chunks=len(chunks),
+                )
+            if failures:
+                tracer.instant(
+                    "resilience.quarantine",
+                    "resilience",
+                    problems=len(failures),
                 )
             tracer.instant(
                 "runtime.launch",
@@ -294,11 +462,47 @@ class BatchRuntime:
         report = merge_outcomes(
             batch, chunks, outcomes, workers=self.workers, mode=mode, wall_s=wall_s
         )
+        report.failures = failures
         report.params = self.parameters()
-        self._observe_run(batch, chunks, outcomes, report)
+        self._observe_run(
+            batch, chunks, outcomes, report, stats=stats, resumed=len(resumed)
+        )
         return report
 
-    def _observe_run(self, batch, chunks, outcomes, report: BatchReport) -> None:
+    def _run_unsupervised(
+        self, payloads: list
+    ) -> tuple[dict[int, ChunkOutcome], str]:
+        """The pre-resilience path: bare pool, no checksums/retries."""
+        outcomes: Optional[list[ChunkOutcome]] = None
+        mode = "serial"
+        if self.workers > 1 and len(payloads) > 1:
+            try:
+                outcomes = self._run_pool_plain(payloads)
+                mode = "process"
+            except Exception as exc:
+                warnings.warn(
+                    f"sharded execution failed ({exc!r}); "
+                    "degrading to serial in-process execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                outcomes = None
+                mode = "serial-fallback"
+        if outcomes is None:
+            outcomes = [
+                _execute_chunk(*payload, checksum=False) for payload in payloads
+            ]
+        return dict(enumerate(outcomes)), mode
+
+    def _observe_run(
+        self,
+        batch,
+        chunks,
+        outcomes,
+        report: BatchReport,
+        stats: Optional[SuperviseStats] = None,
+        resumed: int = 0,
+    ) -> None:
         """Fold chunk telemetry into the fleet registry + run history.
 
         Regime classification always lands on the report (it is part of
@@ -319,8 +523,23 @@ class BatchRuntime:
                     )
                 )
             report.regimes = [classify_regime(a) for a in attributions]
-        except (ValueError, KeyError, AttributeError):
+        except (ValueError, KeyError, AttributeError) as exc:
+            # Attribution is best-effort decoration, but a launch losing
+            # its regimes must be *visible*, not silently blank.
             attributions = []
+            _metrics.counter_inc(
+                "repro_attribution_errors_total",
+                help="Launches whose model attribution failed.",
+                error=type(exc).__name__,
+            )
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.instant(
+                    "observe.attribution_error",
+                    "observe",
+                    error=type(exc).__name__,
+                    detail=str(exc)[:200],
+                )
 
         if _metrics.metrics_enabled():
             registry = _metrics.default_registry()
@@ -338,6 +557,49 @@ class BatchRuntime:
                 registry.inc(
                     "repro_runtime_serial_fallback_total",
                     help="Launches degraded from the pool to in-process.",
+                )
+            # Recovery events only: a clean launch adds nothing here, so
+            # the failure-free path's metric totals are exactly the
+            # pre-resilience ones.
+            if stats is not None:
+                for kind, args in stats.events:
+                    if kind == "retry":
+                        registry.inc(
+                            "repro_chunk_retries_total",
+                            help="Chunk attempts retried, by op and reason.",
+                            op=args.get("op", ""),
+                            reason=args.get("reason", ""),
+                        )
+                    elif kind == "timeout":
+                        registry.inc(
+                            "repro_chunk_timeouts_total",
+                            help="Chunk attempts cancelled at their deadline.",
+                            op=args.get("op", ""),
+                        )
+                    elif kind == "inline":
+                        registry.inc(
+                            "repro_chunk_inline_total",
+                            help="Chunks rescued inline after pool retries.",
+                            op=args.get("op", ""),
+                        )
+                    elif kind == "rebuild":
+                        registry.inc(
+                            "repro_pool_rebuilds_total",
+                            help="Worker pools torn down and rebuilt.",
+                            reason=args.get("reason", ""),
+                        )
+            if resumed:
+                registry.inc(
+                    "repro_resume_chunks_skipped_total",
+                    resumed,
+                    help="Chunks restored from a checkpoint journal.",
+                )
+            for failure in report.failures:
+                registry.inc(
+                    "repro_problem_failures_total",
+                    help="Problems quarantined for numerical breakdown.",
+                    op=failure.op,
+                    reason=failure.reason,
                 )
             dropped = sum(o.dropped for o in outcomes)
             if dropped:
@@ -410,7 +672,9 @@ class BatchRuntime:
                     op=group_result.op,
                 )
             for classification in report.regimes:
-                record_regime(classification, registry=registry, op=classification.label)
+                record_regime(
+                    classification, registry=registry, op=classification.label
+                )
 
         if self.history is not None:
             try:
@@ -433,7 +697,26 @@ class BatchRuntime:
             except OSError:
                 pass
 
-    def _run_pool(self, payloads: list) -> list[ChunkOutcome]:
+    def _run_pool(
+        self, entries: list, record=None, nchunks: Optional[int] = None
+    ) -> tuple[dict[int, ChunkOutcome], SuperviseStats]:
+        """Supervised pool execution of ``(index, payload)`` entries."""
+        context = multiprocessing.get_context(self.start_method)
+        if nchunks is None:
+            nchunks = max(index for index, _ in entries) + 1
+        return supervise_pool(
+            entries,
+            execute=_execute_chunk,
+            mp_context=context,
+            max_workers=self.workers,
+            policy=self.retry_policy,
+            faults=self.faults,
+            nchunks=nchunks,
+            on_complete=record,
+        )
+
+    def _run_pool_plain(self, payloads: list) -> list[ChunkOutcome]:
+        """The unsupervised pool (``resilience=False``): fail-together."""
         context = multiprocessing.get_context(self.start_method)
         max_workers = min(self.workers, len(payloads))
         done_at: dict = {}
@@ -443,7 +726,7 @@ class BatchRuntime:
             futures = []
             submitted_at = []
             for payload in payloads:
-                future = pool.submit(_execute_chunk, *payload)
+                future = pool.submit(_execute_chunk, *payload, checksum=False)
                 submitted_at.append(time.perf_counter())
                 future.add_done_callback(
                     lambda f: done_at.setdefault(id(f), time.perf_counter())

@@ -49,6 +49,10 @@ class ChunkOutcome:
     #: Seconds between submission and the worker picking the chunk up
     #: (0 for inline execution); measured by the executor.
     queue_wait_s: float = 0.0
+    #: Content hash of ``output``/``extra`` computed worker-side before
+    #: the outcome crossed the process boundary; the supervisor verifies
+    #: it to catch transport corruption (``None`` when unsupervised).
+    checksum: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -81,14 +85,20 @@ class BatchReport:
     counters: CounterRegistry
     chunks: int
     workers: int
-    #: ``"process"``, ``"serial"``, or ``"serial-fallback"`` (a worker
-    #: failure degraded the launch to in-process execution).
+    #: ``"process"``, ``"serial"``, ``"serial-fallback"`` (a worker
+    #: failure degraded the launch to in-process execution), or
+    #: ``"resumed"`` (every chunk came back from a checkpoint journal).
     mode: str
     wall_s: float
     params: Optional[ModelParameters] = None
     #: Per-group :class:`~repro.observe.regime.RegimeClassification`
     #: verdicts (populated by the runtime when counters are available).
     regimes: list = dataclasses.field(default_factory=list)
+    #: Quarantined problems: per-problem
+    #: :class:`~repro.resilience.quarantine.ProblemFailure` records for
+    #: numerical breakdowns (zero pivot, non-PSD input, non-finite
+    #: output).  Their output slots are NaN-masked; the batch completes.
+    failures: list = dataclasses.field(default_factory=list)
 
     @property
     def problems(self) -> int:
@@ -115,6 +125,7 @@ class BatchReport:
             "workers": self.workers,
             "mode": self.mode,
             "wall_s": self.wall_s,
+            "failures": len(self.failures),
             "groups": [
                 {
                     "op": g.op,

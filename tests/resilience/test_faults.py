@@ -1,0 +1,122 @@
+"""The fault-injection harness: parsing, determinism, activation."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    parse_faults,
+    plan_from_env,
+)
+from repro.resilience.faults import resolve_faults
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+
+    def test_explicit_victims_pass_through(self):
+        spec = FaultSpec(kind="crash", chunks=(0, 3, 99))
+        assert spec.victims(nchunks=5) == {0, 3}  # out-of-range dropped
+
+    def test_sampled_victims_are_deterministic(self):
+        spec = FaultSpec(kind="crash", rate=0.5, seed=7)
+        assert spec.victims(16) == spec.victims(16)
+        assert spec.victims(16) != FaultSpec(kind="crash", rate=0.5, seed=8).victims(
+            16
+        )
+
+    def test_fires_only_below_count(self):
+        spec = FaultSpec(kind="crash", chunks=(2,), count=2)
+        assert spec.fires(2, 0, 4)
+        assert spec.fires(2, 1, 4)
+        assert not spec.fires(2, 2, 4)  # retries past count succeed
+        assert not spec.fires(1, 0, 4)
+
+    def test_rate_zero_selects_nobody(self):
+        assert FaultSpec(kind="crash", rate=0.0).victims(64) == set()
+
+    def test_rate_one_selects_everybody(self):
+        assert FaultSpec(kind="crash", rate=1.0).victims(5) == {0, 1, 2, 3, 4}
+
+
+class TestParsing:
+    def test_full_grammar(self):
+        plan = parse_faults("crash@0;hang@2:sleep=30;corrupt:rate=0.25,seed=7")
+        kinds = [s.kind for s in plan.specs]
+        assert kinds == ["crash", "hang", "corrupt"]
+        assert plan.specs[0].chunks == (0,)
+        assert plan.specs[1].sleep == 30.0
+        assert plan.specs[2].rate == 0.25 and plan.specs[2].seed == 7
+
+    def test_count_inf(self):
+        plan = parse_faults("crash@1:count=inf")
+        assert plan.specs[0].fires(1, 10_000, 4)
+
+    def test_multi_chunk_list(self):
+        plan = parse_faults("kill@1,3,5")
+        assert plan.specs[0].chunks == (1, 3, 5)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            parse_faults("crash:warp=9")
+
+    def test_every_kind_parses(self):
+        for kind in FAULT_KINDS:
+            assert parse_faults(f"{kind}@0").specs[0].kind == kind
+
+
+class TestActivation:
+    def test_env_activation(self):
+        assert plan_from_env({"REPRO_FAULTS": "crash@0"}) == FaultPlan(
+            (FaultSpec(kind="crash", chunks=(0,)),)
+        )
+        assert plan_from_env({}) is None
+        assert plan_from_env({"REPRO_FAULTS": "  "}) is None
+
+    def test_resolve_normalizes_every_form(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        spec = FaultSpec(kind="crash", chunks=(0,))
+        assert resolve_faults(None) is None
+        assert resolve_faults(spec) == FaultPlan((spec,))
+        assert resolve_faults("crash@0") == FaultPlan((spec,))
+        assert resolve_faults([spec]) == FaultPlan((spec,))
+        assert resolve_faults(FaultPlan(())) is None
+
+    def test_resolve_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt@2")
+        plan = resolve_faults(None)
+        assert plan is not None and plan.specs[0].kind == "corrupt"
+
+
+class TestWorkerHooks:
+    def test_crash_hook_raises_injected_crash(self):
+        from repro.resilience import InjectedCrash
+
+        plan = FaultPlan((FaultSpec(kind="crash", chunks=(1,)),))
+        plan.apply_pre(0, 0, 4)  # not a victim: no-op
+        with pytest.raises(InjectedCrash):
+            plan.apply_pre(1, 0, 4)
+
+    def test_corrupt_hook_changes_bytes_without_mutating_input(self):
+        plan = FaultPlan((FaultSpec(kind="corrupt", chunks=(0,)),))
+        original = np.arange(32, dtype=float).reshape(2, 4, 4) + 1.0
+        keep = original.copy()
+        mangled = plan.apply_corrupt(0, 0, 1, original)
+        assert not np.array_equal(mangled, original)
+        assert np.array_equal(original, keep)
+        untouched = plan.apply_corrupt(0, 1, 1, original)  # count exhausted
+        assert untouched is original
+
+    def test_truncate_hook_halves_file(self, tmp_path):
+        plan = FaultPlan((FaultSpec(kind="truncate", chunks=(0,)),))
+        path = tmp_path / "doc.bin"
+        path.write_bytes(b"x" * 100)
+        assert plan.mangle_file(path, chunk=0)
+        assert path.stat().st_size == 50
+        path.write_bytes(b"x" * 100)
+        assert not plan.mangle_file(path, chunk=1)
+        assert path.stat().st_size == 100

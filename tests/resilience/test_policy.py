@@ -1,0 +1,34 @@
+"""RetryPolicy: backoff schedule and validation."""
+
+import pytest
+
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_default_has_no_deadline(self):
+        # The failure-free path must behave exactly like the
+        # unsupervised runtime; a default deadline could fire spuriously
+        # on a loaded CI machine.
+        assert DEFAULT_RETRY_POLICY.timeout_s is None
+        assert DEFAULT_RETRY_POLICY.max_retries >= 1
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_cap_s=0.35)
+        assert policy.backoff_delay(0) == 0.0  # first attempt never waits
+        assert policy.backoff_delay(1) == pytest.approx(0.1)
+        assert policy.backoff_delay(2) == pytest.approx(0.2)
+        assert policy.backoff_delay(3) == pytest.approx(0.35)  # capped
+        assert policy.backoff_delay(9) == pytest.approx(0.35)
+
+    def test_zero_base_disables_backoff(self):
+        policy = RetryPolicy(backoff_s=0.0)
+        assert policy.backoff_delay(5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)

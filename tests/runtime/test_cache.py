@@ -92,7 +92,12 @@ class TestJsonStoreStatus:
         assert outcome == "hit" and doc["x"] == 1
 
         store.path.write_text("{ truncated")
-        assert store.load_status() == (None, "stale")
+        assert store.load_status() == (None, "miss")
+
+    def test_binary_garbage_is_a_miss_not_an_exception(self, tmp_path):
+        store = cache_mod._JsonStore(tmp_path / "doc.json")
+        store.path.write_bytes(b"\x80\x81\xfe\xff not json at all")
+        assert store.load_status() == (None, "miss")
 
     def test_foreign_version_is_stale_not_miss(self, tmp_path):
         store = cache_mod._JsonStore(tmp_path / "doc.json")
@@ -248,16 +253,18 @@ class TestCacheMetrics:
         cache.store(QUADRO_6000, calibrate(QUADRO_6000))
         cache.load(QUADRO_6000)  # warm: hit
         cache.path_for(QUADRO_6000).write_text("{ truncated")
-        cache.load(QUADRO_6000)  # corrupt: stale
+        cache.load(QUADRO_6000)  # corrupt: cold miss + corrupt counter
 
         def requests(outcome):
             return metrics_registry.value(
                 "repro_cache_requests_total", cache="calibration", outcome=outcome
             )
 
-        assert requests("miss") == 1
+        assert requests("miss") == 2
         assert requests("hit") == 1
-        assert requests("stale") == 1
+        assert metrics_registry.value(
+            "repro_cache_corrupt_total", cache="calibration"
+        ) == 1
         assert metrics_registry.value(
             "repro_cache_writes_total", cache="calibration"
         ) == 1

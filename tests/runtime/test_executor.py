@@ -162,7 +162,7 @@ class TestDegradation:
     def test_worker_failure_degrades_to_serial_with_warning(
         self, tmp_path, monkeypatch
     ):
-        def broken_pool(self, payloads):
+        def broken_pool(self, entries, record=None, nchunks=None):
             raise OSError("simulated pool failure")
 
         monkeypatch.setattr(BatchRuntime, "_run_pool", broken_pool)
@@ -337,3 +337,39 @@ class TestRunHistoryIntegration:
 
         ready = RunHistory(tmp_path / "ready.jsonl")
         assert _runtime(tmp_path, history=ready).history is ready
+
+
+class TestObservableDegradation:
+    def test_unknown_op_rejected_before_submission(self, tmp_path, recwarn):
+        # Validation happens in the caller, so a bad op never reaches the
+        # pool -- no spurious serial-fallback warning rides along.
+        runtime = _runtime(tmp_path, workers=4)
+        with pytest.raises(ValueError, match="unknown batched op"):
+            runtime.run(
+                ProblemBatch.mixed("svd", [np.eye(4, dtype=np.float32)] * 8)
+            )
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+    def test_attribution_failure_is_counted_not_silent(
+        self, tmp_path, metrics_registry, monkeypatch
+    ):
+        from repro.observe import attribution as attribution_mod
+
+        def broken_attribution(*args, **kwargs):
+            raise ValueError("simulated attribution breakage")
+
+        monkeypatch.setattr(attribution_mod, "attribute_launch", broken_attribution)
+        matrices = diagonally_dominant_batch(12, 8, seed=21)
+        report = _runtime(tmp_path, workers=1).run(
+            ProblemBatch.single("lu", matrices)
+        )
+        # The launch still succeeds (attribution is decoration)...
+        assert np.array_equal(report.output, per_block_lu(matrices).output)
+        assert report.regimes == []
+        # ...but the loss is visible in the fleet registry.
+        assert (
+            metrics_registry.value(
+                "repro_attribution_errors_total", error="ValueError"
+            )
+            == 1
+        )
