@@ -16,7 +16,11 @@ batch (4096 matrices, 56x56, single precision):
   a sanitized launch is bitwise-identical to an unsanitized one,
 * the resilience layer (chunk supervision, payload checksums, breakdown
   quarantine) costs < 2% on the failure-free path vs
-  ``BatchRuntime(resilience=False)``, with bitwise-identical output.
+  ``BatchRuntime(resilience=False)``, with bitwise-identical output,
+* the critical-path profiler rides along on the traced run (phase
+  decomposition summing to the batch wall, a real chunk critical path,
+  both exported under ``--json``), and with no tracer active it costs
+  < 2% whether profiling is enabled or globally disabled.
 
 Run with ``pytest benchmarks/bench_runtime_scaling.py --benchmark-only``
 (``--workers N`` to change the pool size, ``--json PATH`` to export).
@@ -25,12 +29,14 @@ Run with ``pytest benchmarks/bench_runtime_scaling.py --benchmark-only``
 import time
 
 import numpy as np
+import pytest
 
 from repro.analyze.sanitizer import sanitizing
 from repro.kernels.batched import diagonally_dominant_batch
 from repro.kernels.device import per_block_lu
 from repro.observe import tracing
 from repro.observe.metrics import set_metrics_enabled
+from repro.observe.profile import set_profiling_enabled
 from repro.runtime import BatchRuntime, ProblemBatch
 
 PROBLEMS = 4096
@@ -48,6 +54,7 @@ def _overhead_rounds(
     slack: float,
     min_rounds: int = 3,
     max_rounds: int = 8,
+    alternate: bool = False,
 ):
     """Interleaved A/B walls with early exit: ``(wall_with, wall_without)``.
 
@@ -56,12 +63,18 @@ def _overhead_rounds(
     contended outliers.  A *genuine* overhead shifts every round, so no
     number of extra samples lets it pass -- but noise only needs more
     samples, so rounds keep accruing until the min comparison clears
-    ``ratio``/``slack`` or the budget runs out.
+    ``ratio``/``slack`` or the budget runs out.  ``alternate`` swaps the
+    A/B execution order on odd rounds, cancelling position bias (the
+    first run of a round pays page-cache and pool-spawn warmup).
     """
     walls_with, walls_without = [], []
     for round_index in range(max_rounds):
-        walls_with.append(run_with())
-        walls_without.append(run_without())
+        if alternate and round_index % 2:
+            walls_without.append(run_without())
+            walls_with.append(run_with())
+        else:
+            walls_with.append(run_with())
+            walls_without.append(run_without())
         if round_index + 1 < min_rounds:
             continue
         if min(walls_with) <= min(walls_without) * ratio + slack:
@@ -95,6 +108,14 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
     warm, warm_tracer = benchmark.pedantic(_warm_run, rounds=1, iterations=1)
     assert len(_calibrate_spans(warm_tracer)) == 0
     assert any(e.name == "calibrate.cache_hit" for e in warm_tracer.events)
+
+    # The traced run carries its latency decomposition: phases partition
+    # the batch-span wall exactly, and the critical path resolved to a
+    # real chunk chain, not the generic fallback.
+    profile = warm.profile
+    assert profile is not None
+    assert sum(profile.phases.values()) == pytest.approx(profile.wall_s, rel=1e-6)
+    assert {s.name for s in profile.critical_path} >= {"plan", "attempt", "merge"}
 
     # Bitwise identity, sharded vs serial.
     for report in (cold, warm):
@@ -228,6 +249,39 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
         f"({wall_resilient:.3f}s vs {wall_bare:.3f}s)"
     )
 
+    # Profiler-off tripwire: with no tracer active the profile layer must
+    # be invisible -- its only hot-path residue is one enabled check per
+    # run, so an untraced launch with profiling enabled (the default)
+    # must match one with profiling globally disabled.
+    def _untraced_run(profiled: bool) -> float:
+        previous = set_profiling_enabled(profiled)
+        try:
+            runtime = BatchRuntime(
+                workers=runtime_workers, cache_directory=cache_dir
+            )
+            t0 = time.perf_counter()
+            runtime.run(batch)
+            return time.perf_counter() - t0
+        finally:
+            set_profiling_enabled(previous)
+
+    wall_profiled, wall_unprofiled = _overhead_rounds(
+        lambda: _untraced_run(True),
+        lambda: _untraced_run(False),
+        1.02,
+        0.02,
+        alternate=True,
+    )
+    profiler_overhead = wall_profiled / wall_unprofiled - 1.0
+    print(
+        f"profiler default: {wall_profiled:.3f}s | disabled: "
+        f"{wall_unprofiled:.3f}s | overhead {profiler_overhead:+.1%}"
+    )
+    assert wall_profiled <= wall_unprofiled * 1.02 + 0.02, (
+        f"tracing-off profiler overhead {profiler_overhead:+.1%} exceeds 2% "
+        f"({wall_profiled:.3f}s vs {wall_unprofiled:.3f}s)"
+    )
+
     benchmark.extra_info["problems"] = PROBLEMS
     benchmark.extra_info["n"] = N
     benchmark.extra_info["workers"] = warm.workers
@@ -237,3 +291,5 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
     benchmark.extra_info["metrics_overhead"] = overhead
     benchmark.extra_info["sanitizer_off_overhead"] = sanitizer_overhead
     benchmark.extra_info["resilience_overhead"] = resilience_overhead
+    benchmark.extra_info["profiler_off_overhead"] = profiler_overhead
+    benchmark.extra_info["profile"] = profile.to_dict()

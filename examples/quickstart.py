@@ -149,6 +149,20 @@ def _walkthrough() -> None:
     if not identical:
         raise SystemExit("sharded output diverged from the serial launch")
 
+    # Under REPRO_TRACE the run also carries its critical-path profile:
+    # where the batch wall actually went, phase by phase.
+    if report.profile is not None:
+        profile = report.profile
+        shares = profile.phase_shares()
+        print(f"\nLatency decomposition (batch wall {profile.wall_s:.3f}s, "
+              f"straggler index {profile.straggler_index:.2f}):")
+        print(format_table(
+            ["phase", "seconds", "share"],
+            [[phase, f"{profile.phases[phase]:.4f}", f"{shares[phase]:.1%}"]
+             for phase in sorted(profile.phases, key=lambda p: -profile.phases[p])],
+        ))
+        print("Timeline gate:     python -m repro.observe.timeline trace.json --strict")
+
     # --- 5. Fleet telemetry. --------------------------------------------
     # Every instrumented layer above (kernels, caches, dispatch, the
     # sharded runtime) has been writing labeled metrics into the process

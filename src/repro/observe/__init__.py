@@ -29,7 +29,13 @@ On top of the per-launch layers sits the fleet telemetry added in PR 3:
   attribution term shares;
 * **run history + drift** (:mod:`repro.observe.history`) -- a JSONL
   store of per-launch summaries with a rolling-window drift detector,
-  rendered by ``python -m repro.observe.report``.
+  rendered by ``python -m repro.observe.report``;
+* **critical-path profiling** (:mod:`repro.observe.profile`) -- every
+  traced batch run emits a cross-process span tree
+  (``batch -> plan/execute -> chunk -> submit/attempt -> merge``) whose
+  latency decomposition, critical path, straggler index, and flamegraph
+  land on :attr:`BatchReport.profile <repro.runtime.merge.BatchReport>`
+  and replay from a trace file via ``python -m repro.observe.timeline``.
 
 See ``docs/observability.md`` for a walkthrough.
 """
@@ -37,6 +43,7 @@ See ``docs/observability.md`` for a walkthrough.
 from .counters import CounterRegistry, CounterStat
 from .tracer import (
     DEFAULT_CAPACITY,
+    ClockOrigin,
     Event,
     Span,
     Tracer,
@@ -50,6 +57,7 @@ from .tracer import (
 )
 
 __all__ = [
+    "ClockOrigin",
     "CounterRegistry",
     "CounterStat",
     "DEFAULT_CAPACITY",
@@ -103,6 +111,21 @@ __all__ = [
     "gauge_direction",
     "record_gauges",
     "run_record",
+    # lazily loaded: critical-path profiler + timeline/flamegraph export
+    "PHASES",
+    "PROFILE_CATEGORY",
+    "BatchProfile",
+    "CriticalStep",
+    "ProfileEmitter",
+    "SpanNode",
+    "build_span_trees",
+    "collapsed_stacks",
+    "compute_profile",
+    "critical_path",
+    "flow_events",
+    "profiling_enabled",
+    "set_profiling_enabled",
+    "write_flamegraph",
 ]
 
 #: Attribution pulls in the model layer and exporters pull in json/numpy;
@@ -147,6 +170,20 @@ _LAZY = {
     "gauge_direction": "history",
     "record_gauges": "history",
     "run_record": "history",
+    "PHASES": "profile",
+    "PROFILE_CATEGORY": "profile",
+    "BatchProfile": "profile",
+    "CriticalStep": "profile",
+    "ProfileEmitter": "profile",
+    "SpanNode": "profile",
+    "build_span_trees": "profile",
+    "collapsed_stacks": "profile",
+    "compute_profile": "profile",
+    "critical_path": "profile",
+    "flow_events": "profile",
+    "profiling_enabled": "profile",
+    "set_profiling_enabled": "profile",
+    "write_flamegraph": "export",
 }
 
 

@@ -27,6 +27,7 @@ __all__ = [
     "atomic_write_text",
     "chrome_trace",
     "write_chrome_trace",
+    "write_flamegraph",
     "metrics_record",
     "write_metrics",
     "read_metrics",
@@ -81,8 +82,22 @@ def _jsonable(value: Any) -> Any:
 # ----------------------------------------------------------------------
 # Chrome trace_event
 # ----------------------------------------------------------------------
+#: Profile spans are recorded in seconds; Chrome traces tick in
+#: microseconds.  Exporters multiply by this, parsers divide.
+PROFILE_TS_SCALE = 1e6
+
+
 def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
-    """The tracer's events as a Chrome ``trace_event`` JSON object."""
+    """The tracer's events as a Chrome ``trace_event`` JSON object.
+
+    Profile-category spans land on a thread lane per worker pid (their
+    ``worker`` arg), so a sharded launch renders as one swimlane per
+    process; everything else stays on lane 0.  Chunk journeys get flow
+    arrows (``ph`` ``s``/``t``/``f``) linking submit -> worker attempt ->
+    completion; see :func:`repro.observe.profile.flow_events`.
+    """
+    from .profile import PROFILE_CATEGORY, flow_events
+
     events: list[dict] = [
         {
             "name": "process_name",
@@ -92,22 +107,48 @@ def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
             "args": {"name": process_name},
         }
     ]
+    lanes: set[int] = set()
     for ev in tracer.events:
+        profiled = ev.category == PROFILE_CATEGORY
+        tid = 0
+        if profiled and ev.args:
+            try:
+                tid = int(ev.args.get("worker", 0))
+            except (TypeError, ValueError):
+                tid = 0
+        lanes.add(tid)
+        # Profile spans are stamped in real seconds; Chrome's unit is the
+        # microsecond, so scaling by 1e6 renders them at true duration.
+        # Engine events keep their cycles-as-microseconds convention.
+        scale = PROFILE_TS_SCALE if profiled else 1.0
         entry: dict = {
             "name": ev.name,
             "cat": ev.category,
             "ph": ev.ph,
-            "ts": float(ev.ts),
+            "ts": float(ev.ts) * scale,
             "pid": 0,
-            "tid": 0,
+            "tid": tid,
         }
         if ev.ph == "X":
-            entry["dur"] = float(ev.dur)
+            entry["dur"] = float(ev.dur) * scale
         if ev.ph == "i":
             entry["s"] = "t"  # instant scope: thread
         if ev.args:
             entry["args"] = _jsonable(ev.args)
         events.append(entry)
+    for tid in sorted(lanes):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": "launch" if tid == 0 else f"worker {tid}"},
+            }
+        )
+    for arrow in flow_events(tracer.events):
+        arrow["ts"] = arrow["ts"] * PROFILE_TS_SCALE
+        events.append(arrow)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -126,6 +167,19 @@ def write_chrome_trace(
     return atomic_write_text(
         path, json.dumps(chrome_trace(tracer, process_name)) + "\n"
     )
+
+
+def write_flamegraph(events, path: Path | str) -> Path:
+    """Write profile spans as collapsed stacks (flamegraph.pl format).
+
+    ``events`` is any iterable of :class:`~repro.observe.tracer.Event`
+    records (a tracer's ring buffer, or events parsed back from a trace
+    file); one line per span, self time in microseconds.  Feed the file
+    to ``flamegraph.pl`` or https://speedscope.app.
+    """
+    from .profile import build_span_trees, collapsed_stacks
+
+    return atomic_write_text(path, collapsed_stacks(build_span_trees(events)))
 
 
 # ----------------------------------------------------------------------

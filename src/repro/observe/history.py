@@ -62,6 +62,11 @@ _LOWER_IS_BETTER = (
     "retr",
     "timeout",
     "corrupt",
+    # Profiler gauges: queued share, straggler spread, and every phase of
+    # the latency decomposition ("phases." prefix) shrink when healthy.
+    "queue",
+    "straggler",
+    "phases.",
 )
 
 

@@ -119,6 +119,37 @@ class HistogramValue:
         self.total += other.total
         self.count += other.count
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile, Prometheus ``histogram_quantile``.
+
+        Finds the bucket holding the ``q``-th observation and
+        interpolates linearly inside it, assuming observations are
+        uniform within a bucket.  The first bucket's lower bound is 0
+        (these histograms hold non-negative latencies); a quantile
+        landing in the ``+Inf`` overflow clamps to the highest finite
+        bound.  Returns ``None`` when the series is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if running + bucket_count >= rank:
+                if i >= len(self.buckets):
+                    # Overflow bucket: no finite upper bound to
+                    # interpolate toward; report the largest bound.
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                within = (rank - running) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, within))
+            running += bucket_count
+        return self.buckets[-1]
+
 
 @dataclasses.dataclass
 class _Family:
@@ -256,6 +287,20 @@ class MetricsRegistry:
         if fam is None or fam.kind != "histogram":
             return None
         return fam.series.get(_label_key(labels))
+
+    def histogram_quantile(
+        self, name: str, q: float, **labels
+    ) -> Optional[float]:
+        """Interpolated quantile of histogram ``name`` for one label set.
+
+        ``q`` is a fraction (``0.5`` = median, ``0.99`` = p99); see
+        :meth:`HistogramValue.quantile` for the interpolation rules.
+        Returns ``None`` when the series is absent or empty.
+        """
+        hist = self.histogram_value(name, **labels)
+        if hist is None:
+            return None
+        return hist.quantile(q)
 
     def sum_series(self, name: str, **match) -> float:
         """Sum of every counter/gauge series whose labels contain ``match``."""

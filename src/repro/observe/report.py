@@ -8,6 +8,8 @@ instrumented runtime leaves behind (``history.jsonl`` plus the
   winning regime);
 * the regime mix across the history window -- the paper's
   bandwidth-bound vs compute-bound narrative as a fleet-level signal;
+* the latest critical-path profile a traced run recorded -- phase
+  decomposition, straggler index, and queue share;
 * cache hit rates for the calibration and dispatch caches;
 * drift flags: gauges in the latest run that moved beyond a
   direction-aware tolerance from their rolling-window median.
@@ -81,6 +83,25 @@ def _regime_mix(records: List[dict]) -> List[list]:
     return rows
 
 
+def _latest_profile(records: List[dict]) -> Optional[dict]:
+    for doc in reversed(records):
+        profile = doc.get("profile")
+        if isinstance(profile, dict) and profile.get("phases"):
+            return profile
+    return None
+
+
+def _profile_rows(profile: dict) -> List[list]:
+    phases = profile.get("phases", {})
+    wall = float(profile.get("wall_s", 0.0)) or 0.0
+    rows = []
+    for phase in sorted(phases, key=lambda p: -phases[p]):
+        seconds = float(phases[phase])
+        share = seconds / wall if wall > 0 else 0.0
+        rows.append([phase, f"{seconds:.4f}", f"{share:.1%}"])
+    return rows
+
+
 def _cache_rows(registry: Optional[MetricsRegistry]) -> List[list]:
     if registry is None or "repro_cache_requests_total" not in registry:
         return []
@@ -130,6 +151,20 @@ def render_report(
             sections.append(
                 format_table(
                     ["regime", "launches", "share"], mix, title="Regime mix"
+                )
+            )
+        profile = _latest_profile(records)
+        if profile is not None:
+            straggler = float(profile.get("straggler_index", 1.0))
+            queue_share = float(profile.get("queue_share", 0.0))
+            sections.append(
+                format_table(
+                    ["phase", "seconds", "share"],
+                    _profile_rows(profile),
+                    title=(
+                        "Latest profile (straggler index "
+                        f"{straggler:.2f}, queue share {queue_share:.0%})"
+                    ),
                 )
             )
 

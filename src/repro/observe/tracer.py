@@ -24,7 +24,9 @@ numbers verbatim -- one trace "microsecond" is one cycle or one tick.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager, nullcontext
 from typing import Any, Dict, Iterator, Optional
@@ -32,6 +34,7 @@ from typing import Any, Dict, Iterator, Optional
 from .counters import CounterRegistry
 
 __all__ = [
+    "ClockOrigin",
     "Event",
     "Span",
     "Tracer",
@@ -48,6 +51,32 @@ __all__ = [
 #: Default ring-buffer capacity (events).  A 56x56 per-block QR emits a
 #: few thousand events; the default holds dozens of launches.
 DEFAULT_CAPACITY = 65536
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockOrigin:
+    """One process's clock anchor, captured when its tracer is built.
+
+    ``perf`` is a :func:`time.perf_counter` reading and ``wall`` the
+    matching :func:`time.time` instant.  Two origins from the same
+    machine share the monotonic epoch, so the *true* offset between the
+    processes' profile clocks is simply ``perf_a - perf_b`` -- the
+    handshake :meth:`Tracer.ingest` uses to align worker timelines
+    instead of re-stamping them.  ``wall`` rides along as a
+    human-readable anchor for exported traces.
+    """
+
+    perf: float
+    wall: float
+    pid: int
+
+    @classmethod
+    def capture(cls) -> "ClockOrigin":
+        return cls(perf=time.perf_counter(), wall=time.time(), pid=os.getpid())
+
+    def offset_from(self, other: "ClockOrigin") -> float:
+        """Seconds this origin's profile clock leads ``other``'s."""
+        return self.perf - other.perf
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,8 +141,21 @@ class Tracer:
         self.dropped = 0
         self._ts = 0.0
         self._span_stack: list[Span] = []
+        #: Clock anchor for real-time (profile) events; see
+        #: :class:`ClockOrigin` and :meth:`now`.
+        self.origin = ClockOrigin.capture()
 
     # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds elapsed on this tracer's real-time (profile) clock.
+
+        Runtime-level profile spans stamp themselves with this clock --
+        real seconds since the tracer was built -- while engine events
+        keep their simulated cycle clock.  The two coexist in one trace;
+        profile consumers filter by category.
+        """
+        return time.perf_counter() - self.origin.perf
+
     def _stamp(self, ts: Optional[float], dur: float = 0.0) -> float:
         """Resolve a timestamp, keeping the internal clock monotonic."""
         if ts is None:
@@ -188,21 +230,36 @@ class Tracer:
         finally:
             handle.end()
 
-    def ingest(self, events, dropped: int = 0, **tags: Any) -> int:
+    def ingest(
+        self,
+        events,
+        dropped: int = 0,
+        clock: Optional[ClockOrigin] = None,
+        **tags: Any,
+    ) -> int:
         """Replay foreign :class:`Event` records into this tracer.
 
         Used by the sharded runtime to fold each worker's trace back into
-        the launch tracer: every event is re-stamped onto this tracer's
-        clock (shifted so the replay starts "now" and stays monotonic)
-        and tagged with ``tags`` (e.g. ``shard=3``) so merged timelines
-        remain attributable.  ``dropped`` carries the source ring
-        buffer's overflow count into :attr:`dropped` -- without it a
+        the launch tracer.  Without ``clock``, every event is re-stamped
+        onto this tracer's tick clock (shifted so the replay starts
+        "now" and stays monotonic) -- relative timing *between* the two
+        processes is lost.  With ``clock`` -- the worker tracer's
+        :class:`ClockOrigin`, shipped back with the chunk outcome -- the
+        events are instead shifted by the **measured** offset between the
+        two origins (``clock.offset_from(self.origin)``), so a worker
+        span that ran 3 ms into the worker's timeline lands 3 ms after
+        that worker's origin on *this* timeline: durations, gaps, and
+        cross-process ordering all survive.
+
+        Events are tagged with ``tags`` (e.g. ``shard=3``) so merged
+        timelines remain attributable.  ``dropped`` carries the source
+        ring buffer's overflow count into :attr:`dropped` -- without it a
         worker that overflowed would fold into a launch trace that looks
         complete.  Events are replayed in the order given; returns the
         number ingested.
         """
         self.dropped += int(dropped)
-        base = self._ts
+        base = clock.offset_from(self.origin) if clock is not None else self._ts
         count = 0
         for ev in events:
             args = dict(ev.args) if ev.args else {}

@@ -39,6 +39,7 @@ from .policy import RetryPolicy
 
 __all__ = [
     "ChunkFailedError",
+    "ChunkSpans",
     "SuperviseStats",
     "outcome_checksum",
     "supervise_pool",
@@ -117,6 +118,61 @@ def _verified(outcome) -> bool:
 Entry = Tuple[int, tuple]  # (chunk index, payload for ``execute``)
 
 
+class ChunkSpans:
+    """Per-chunk profile bookkeeping for the supervisor paths.
+
+    Wraps a :class:`~repro.observe.profile.ProfileEmitter` (or ``None``
+    -- every method is then a no-op) and emits the parent-side spans of
+    the batch tree: one ``submit`` span per submission (retries and
+    forgiven resubmissions become visible siblings) and one ``chunk``
+    span from first submission to final completion.
+    """
+
+    __slots__ = ("emitter", "first_submit", "seq")
+
+    def __init__(self, emitter) -> None:
+        self.emitter = emitter
+        self.first_submit: Dict[int, float] = {}
+        self.seq: Dict[int, int] = {}
+
+    def chunk_id(self, index: int) -> str:
+        return self.emitter.span_id(f"chunk:{index}")
+
+    def submit(self, index: int, start: float, end: float, **args) -> None:
+        if self.emitter is None:
+            return
+        seq = self.seq.get(index, 0)
+        self.seq[index] = seq + 1
+        self.first_submit.setdefault(index, start)
+        self.emitter.emit(
+            "submit",
+            start,
+            end,
+            span_id=f"{self.chunk_id(index)}/submit:{seq}",
+            parent_id=self.chunk_id(index),
+            chunk=index,
+            submission=seq,
+            **args,
+        )
+
+    def complete(self, index: int, end: float, **args) -> None:
+        if self.emitter is None:
+            return
+        start = self.first_submit.get(index, end)
+        self.emitter.emit(
+            "chunk",
+            start,
+            end,
+            span_id=self.chunk_id(index),
+            parent_id=self.emitter.span_id("execute"),
+            chunk=index,
+            **args,
+        )
+
+    def now(self) -> float:
+        return self.emitter.now() if self.emitter is not None else 0.0
+
+
 def supervise_serial(
     entries: Sequence[Entry],
     *,
@@ -125,15 +181,21 @@ def supervise_serial(
     faults=None,
     nchunks: int = 1,
     on_complete: Optional[Callable[[int, object], None]] = None,
+    profile=None,
 ) -> Tuple[Dict[int, object], SuperviseStats]:
     """Run chunks inline with the same retry semantics as the pool.
 
     Deadlines cannot be enforced in-process (there is no worker to
     kill), so ``timeout_s`` is ignored here; crash and corruption
-    recovery behave exactly like the pool path.
+    recovery behave exactly like the pool path.  ``profile`` is an
+    optional :class:`~repro.observe.profile.ProfileEmitter`: inline
+    execution emits the same ``chunk``/``submit`` span structure as the
+    pool (submissions are instantaneous hand-offs, so their spans are
+    zero-width), keeping serial and sharded trees comparable.
     """
     outcomes: Dict[int, object] = {}
     stats = SuperviseStats()
+    spans = ChunkSpans(profile)
     for index, payload in entries:
         op = payload[0]
         attempt = 0
@@ -141,6 +203,8 @@ def supervise_serial(
             delay = policy.backoff_delay(attempt)
             if delay:
                 time.sleep(delay)
+            start = spans.now()
+            spans.submit(index, start, start, attempt=attempt, op=op)
             failure = None
             try:
                 outcome = execute(
@@ -157,6 +221,7 @@ def supervise_serial(
                     failure = ("corrupt", None)
             if failure is None:
                 outcomes[index] = outcome
+                spans.complete(index, spans.now(), op=op, attempts=attempt + 1)
                 if on_complete is not None:
                     on_complete(index, outcome)
                 break
@@ -178,17 +243,22 @@ def supervise_pool(
     faults=None,
     nchunks: int = 1,
     on_complete: Optional[Callable[[int, object], None]] = None,
+    profile=None,
 ) -> Tuple[Dict[int, object], SuperviseStats]:
     """Run chunks on a supervised process pool; see the module docstring.
 
     Returns ``(outcomes by chunk index, stats)``.  Raises
     :class:`ChunkFailedError` only when a chunk fails its retries *and*
-    its inline last resort.
+    its inline last resort.  ``profile`` is an optional
+    :class:`~repro.observe.profile.ProfileEmitter`; when set, every
+    submission (including retries and forgiven resubmissions) and every
+    chunk completion lands in the batch span tree.
     """
     outcomes: Dict[int, object] = {}
     stats = SuperviseStats()
     if not entries:
         return outcomes, stats
+    spans = ChunkSpans(profile)
     payloads = dict(entries)
     attempts = {index: 0 for index, _ in entries}
     ready: deque[int] = deque(index for index, _ in entries)
@@ -227,6 +297,8 @@ def supervise_pool(
         # one -- fault plans count attempts, so a fault scoped to the
         # pool attempts (count = max_retries + 1) leaves this run clean.
         attempts[index] += 1
+        start = spans.now()
+        spans.submit(index, start, start, attempt=attempts[index], op=op, inline=True)
         try:
             outcome = execute(
                 *payloads[index],
@@ -238,6 +310,7 @@ def supervise_pool(
         except Exception as exc:  # noqa: BLE001 -- terminal path
             raise ChunkFailedError(index, op, reason) from exc
         outcomes[index] = outcome
+        spans.complete(index, spans.now(), op=op, attempts=attempts[index] + 1)
         if on_complete is not None:
             on_complete(index, outcome)
 
@@ -271,6 +344,7 @@ def supervise_pool(
                 delay = policy.backoff_delay(attempts[index])
                 if delay:
                     time.sleep(delay)
+                submit_start = spans.now()
                 future = pool.submit(
                     execute,
                     *payloads[index],
@@ -280,6 +354,13 @@ def supervise_pool(
                     faults=faults,
                 )
                 submitted = time.perf_counter()
+                spans.submit(
+                    index,
+                    submit_start,
+                    spans.now(),
+                    attempt=attempts[index],
+                    op=payloads[index][0],
+                )
                 deadline = (
                     None
                     if policy.timeout_s is None
@@ -321,6 +402,13 @@ def supervise_pool(
                     turnaround = done_at.get(id(future), submitted) - submitted
                     outcome.queue_wait_s = max(0.0, turnaround - outcome.wall_s)
                     outcomes[index] = outcome
+                    spans.complete(
+                        index,
+                        spans.now(),
+                        op=payloads[index][0],
+                        attempts=attempts[index] + 1,
+                        worker=getattr(outcome, "pid", 0),
+                    )
                     if on_complete is not None:
                         on_complete(index, outcome)
 

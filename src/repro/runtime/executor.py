@@ -32,6 +32,7 @@ The convenience entry point :func:`run_batched` (re-exported from
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import multiprocessing
 import os
 import time
@@ -44,6 +45,7 @@ import numpy as np
 from ..gpu.device import QUADRO_6000, DeviceSpec
 from ..model.parameters import ModelParameters
 from ..observe import metrics as _metrics
+from ..observe import profile as _profile
 from ..observe.history import RunHistory, run_record
 from ..observe.tracer import current_tracer, tracing
 from ..resilience.checkpoint import CheckpointStore, batch_fingerprint
@@ -53,6 +55,7 @@ from ..resilience.quarantine import quarantine_outcomes
 from ..resilience.supervisor import (
     ChunkFailedError,
     SuperviseStats,
+    ChunkSpans,
     outcome_checksum,
     supervise_pool,
     supervise_serial,
@@ -86,11 +89,17 @@ def default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
+#: Monotone batch sequence: every traced launch in this process gets a
+#: unique profile scope (``batch:N``), so span ids never collide when
+#: several launches fold into one tracer.
+_BATCH_SEQ = itertools.count()
+
+
 def _execute_chunk(
     op: str,
     data: np.ndarray,
     kwargs: dict,
-    traced: bool,
+    traced: Union[bool, str],
     chunk_index: int = 0,
     attempt: int = 0,
     nchunks: int = 1,
@@ -105,30 +114,53 @@ def _execute_chunk(
     launch-level fold (and therefore every metric total) is identical
     between the serial and sharded paths.
 
+    ``traced`` is falsy (untraced), ``True`` (trace, no profile spans),
+    or the batch's profile scope string: the worker then emits its side
+    of the span tree -- a ``deserialize`` setup span and the ``attempt``
+    span around the kernel -- stamped on the worker tracer's own clock,
+    and ships the tracer's :class:`~repro.observe.tracer.ClockOrigin`
+    back so the launch process can align the timelines at ingest.
+
     ``chunk_index``/``attempt`` identify this execution to the optional
     :class:`~repro.resilience.faults.FaultPlan`, which fires its seeded
     crash/hang/corrupt injectors here -- in the worker, where the real
     failure would happen.  ``checksum`` ships a content hash of the
     numerical payload so the supervisor can detect transport corruption.
     """
+    entry = time.perf_counter()
     kernel = _kernel_registry().get(op)
     if kernel is None:
         raise ValueError(f"unknown batched op {op!r}; supported: {supported_ops()}")
     if faults is not None:
         faults.apply_pre(chunk_index, attempt, nchunks)
+    scope = traced if isinstance(traced, str) else None
     local_metrics = previous_metrics = None
     if _metrics.metrics_enabled():
         local_metrics = _metrics.MetricsRegistry()
         previous_metrics = _metrics.set_default_registry(local_metrics)
     start = time.perf_counter()
     dropped = 0
+    clock = None
     try:
         if traced:
             with tracing() as tracer:
+                kernel_start = tracer.now()
                 result = kernel(data, **kwargs)
+                if scope is not None:
+                    _emit_worker_spans(
+                        tracer,
+                        scope,
+                        chunk_index,
+                        attempt,
+                        op,
+                        entry=entry,
+                        start=start,
+                        kernel_start=kernel_start,
+                    )
             events = list(tracer.events)
             registry = tracer.counters
             dropped = tracer.dropped
+            clock = tracer.origin
         else:
             result = kernel(data, **kwargs)
             events = []
@@ -153,6 +185,54 @@ def _execute_chunk(
         dropped=dropped,
         metrics=local_metrics,
         checksum=digest,
+        clock=clock,
+    )
+
+
+def _emit_worker_spans(
+    tracer,
+    scope: str,
+    chunk_index: int,
+    attempt: int,
+    op: str,
+    *,
+    entry: float,
+    start: float,
+    kernel_start: float,
+) -> None:
+    """The worker's side of the batch span tree, on its own clock.
+
+    ``deserialize`` covers chunk setup (fault hooks, metrics registry
+    swap) from function entry to the traced block; ``attempt`` covers
+    the kernel proper.  Both carry explicit ids under the chunk span, so
+    retries land as sibling ``attempt:{k}`` spans.
+    """
+    pid = os.getpid()
+    chunk_id = f"{scope}/chunk:{chunk_index}"
+    attempt_id = f"{chunk_id}/attempt:{attempt}"
+    origin = tracer.origin.perf
+    tracer.complete(
+        "deserialize",
+        _profile.PROFILE_CATEGORY,
+        ts=entry - origin,
+        dur=max(0.0, start - entry),
+        span_id=f"{chunk_id}/deserialize:{attempt}",
+        parent_id=chunk_id,
+        chunk=chunk_index,
+        attempt=attempt,
+        worker=pid,
+    )
+    tracer.complete(
+        "attempt",
+        _profile.PROFILE_CATEGORY,
+        ts=kernel_start,
+        dur=max(0.0, tracer.now() - kernel_start),
+        span_id=attempt_id,
+        parent_id=chunk_id,
+        chunk=chunk_index,
+        attempt=attempt,
+        op=op,
+        worker=pid,
     )
 
 
@@ -331,18 +411,37 @@ class BatchRuntime:
                 )
         kwargs = dict(kernel_kwargs)
         kwargs.setdefault("device", self.device)
-        chunks = plan_chunks(batch, self.chunk_cost)
         tracer = current_tracer()
         traced = tracer is not None
+        emitter = None
+        if traced and _profile.profiling_enabled():
+            emitter = _profile.ProfileEmitter(tracer, f"batch:{next(_BATCH_SEQ)}")
+        batch_start = emitter.now() if emitter is not None else 0.0
+        chunks = plan_chunks(batch, self.chunk_cost)
+        # Workers receive the profile scope (a string) so their attempt
+        # spans carry fully-scoped ids; plain ``True`` traces without
+        # profile spans, ``False`` is the untraced hot path.
+        trace_token: Union[bool, str] = (
+            emitter.scope if emitter is not None else traced
+        )
         payloads = [
             (
                 batch.groups[chunk.group].op,
                 batch.groups[chunk.group].data[chunk.start : chunk.stop],
                 kwargs,
-                traced,
+                trace_token,
             )
             for chunk in chunks
         ]
+        if emitter is not None:
+            emitter.emit(
+                "plan",
+                batch_start,
+                span_id=emitter.span_id("plan"),
+                parent_id=emitter.scope,
+                chunks=len(chunks),
+                problems=batch.total_problems,
+            )
 
         resumed: dict[int, ChunkOutcome] = {}
         record = None
@@ -363,12 +462,13 @@ class BatchRuntime:
             if index not in resumed
         ]
 
+        execute_start = emitter.now() if emitter is not None else 0.0
         start = time.perf_counter()
         stats = SuperviseStats()
         by_index: Optional[dict[int, ChunkOutcome]] = None
         mode = "serial"
         if not self.resilience:
-            by_index, mode = self._run_unsupervised(payloads)
+            by_index, mode = self._run_unsupervised(payloads, emitter)
         elif not entries:
             by_index = {}
             mode = "resumed"
@@ -376,7 +476,7 @@ class BatchRuntime:
             if self.workers > 1 and len(entries) > 1:
                 try:
                     by_index, stats = self._run_pool(
-                        entries, record, nchunks=len(chunks)
+                        entries, record, nchunks=len(chunks), profile=emitter
                     )
                     mode = "process"
                 except ChunkFailedError:
@@ -412,10 +512,21 @@ class BatchRuntime:
                     faults=self.faults,
                     nchunks=len(chunks),
                     on_complete=record,
+                    profile=emitter,
                 )
                 stats.events.extend(serial_stats.events)
         by_index.update(resumed)
         outcomes = [by_index[index] for index in range(len(chunks))]
+        if emitter is not None:
+            emitter.emit(
+                "execute",
+                execute_start,
+                span_id=emitter.span_id("execute"),
+                parent_id=emitter.scope,
+                chunks=len(chunks),
+                mode=mode,
+            )
+        merge_start = emitter.now() if emitter is not None else 0.0
         failures = (
             quarantine_outcomes(batch, chunks, outcomes) if self.resilience else []
         )
@@ -432,6 +543,7 @@ class BatchRuntime:
                 tracer.ingest(
                     outcome.events,
                     dropped=outcome.dropped,
+                    clock=outcome.clock,
                     shard=chunk.index,
                     worker=outcome.pid,
                 )
@@ -462,6 +574,31 @@ class BatchRuntime:
         report = merge_outcomes(
             batch, chunks, outcomes, workers=self.workers, mode=mode, wall_s=wall_s
         )
+        if emitter is not None:
+            merge_end = emitter.now()
+            emitter.emit(
+                "merge",
+                merge_start,
+                merge_end,
+                span_id=emitter.span_id("merge"),
+                parent_id=emitter.scope,
+                chunks=len(chunks),
+            )
+            emitter.emit(
+                "batch",
+                batch_start,
+                merge_end,
+                span_id=emitter.scope,
+                parent_id=None,
+                problems=batch.total_problems,
+                chunks=len(chunks),
+                workers=self.workers,
+                mode=mode,
+            )
+            roots = _profile.build_span_trees(tracer.events, scope=emitter.scope)
+            batch_root = next((r for r in roots if r.name == "batch"), None)
+            if batch_root is not None:
+                report.profile = _profile.compute_profile(batch_root)
         report.failures = failures
         report.params = self.parameters()
         self._observe_run(
@@ -470,14 +607,14 @@ class BatchRuntime:
         return report
 
     def _run_unsupervised(
-        self, payloads: list
+        self, payloads: list, profile=None
     ) -> tuple[dict[int, ChunkOutcome], str]:
         """The pre-resilience path: bare pool, no checksums/retries."""
         outcomes: Optional[list[ChunkOutcome]] = None
         mode = "serial"
         if self.workers > 1 and len(payloads) > 1:
             try:
-                outcomes = self._run_pool_plain(payloads)
+                outcomes = self._run_pool_plain(payloads, profile)
                 mode = "process"
             except Exception as exc:
                 warnings.warn(
@@ -489,9 +626,19 @@ class BatchRuntime:
                 outcomes = None
                 mode = "serial-fallback"
         if outcomes is None:
-            outcomes = [
-                _execute_chunk(*payload, checksum=False) for payload in payloads
-            ]
+            spans = ChunkSpans(profile)
+            outcomes = []
+            for index, payload in enumerate(payloads):
+                hand_off = spans.now()
+                spans.submit(index, hand_off, hand_off, attempt=0, op=payload[0])
+                outcome = _execute_chunk(
+                    *payload,
+                    chunk_index=index,
+                    nchunks=len(payloads),
+                    checksum=False,
+                )
+                spans.complete(index, spans.now(), op=payload[0], attempts=1)
+                outcomes.append(outcome)
         return dict(enumerate(outcomes)), mode
 
     def _observe_run(
@@ -675,6 +822,24 @@ class BatchRuntime:
                 record_regime(
                     classification, registry=registry, op=classification.label
                 )
+            if report.profile is not None:
+                for phase, seconds in report.profile.phases.items():
+                    registry.observe(
+                        "repro_batch_phase_seconds",
+                        max(0.0, seconds),
+                        help="Batch latency decomposition, by phase.",
+                        phase=phase,
+                    )
+                registry.set(
+                    "repro_batch_straggler_index",
+                    report.profile.straggler_index,
+                    help="Max/median chunk compute time of the latest launch.",
+                )
+                registry.set(
+                    "repro_batch_queue_share",
+                    report.profile.queue_share,
+                    help="Share of chunk time spent queued, latest launch.",
+                )
 
         if self.history is not None:
             try:
@@ -692,13 +857,22 @@ class BatchRuntime:
                             for a in attributions
                         ],
                         device=self.device.name,
+                        profile=(
+                            report.profile.summary()
+                            if report.profile is not None
+                            else None
+                        ),
                     )
                 )
             except OSError:
                 pass
 
     def _run_pool(
-        self, entries: list, record=None, nchunks: Optional[int] = None
+        self,
+        entries: list,
+        record=None,
+        nchunks: Optional[int] = None,
+        profile=None,
     ) -> tuple[dict[int, ChunkOutcome], SuperviseStats]:
         """Supervised pool execution of ``(index, payload)`` entries."""
         context = multiprocessing.get_context(self.start_method)
@@ -713,32 +887,55 @@ class BatchRuntime:
             faults=self.faults,
             nchunks=nchunks,
             on_complete=record,
+            profile=profile,
         )
 
-    def _run_pool_plain(self, payloads: list) -> list[ChunkOutcome]:
+    def _run_pool_plain(self, payloads: list, profile=None) -> list[ChunkOutcome]:
         """The unsupervised pool (``resilience=False``): fail-together."""
         context = multiprocessing.get_context(self.start_method)
         max_workers = min(self.workers, len(payloads))
+        spans = ChunkSpans(profile)
         done_at: dict = {}
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers, mp_context=context
         ) as pool:
             futures = []
             submitted_at = []
-            for payload in payloads:
-                future = pool.submit(_execute_chunk, *payload, checksum=False)
+            for index, payload in enumerate(payloads):
+                submit_start = spans.now()
+                future = pool.submit(
+                    _execute_chunk,
+                    *payload,
+                    chunk_index=index,
+                    nchunks=len(payloads),
+                    checksum=False,
+                )
                 submitted_at.append(time.perf_counter())
+                spans.submit(
+                    index, submit_start, spans.now(), attempt=0, op=payload[0]
+                )
                 future.add_done_callback(
                     lambda f: done_at.setdefault(id(f), time.perf_counter())
                 )
                 futures.append(future)
             # Collect in submission order; completion order is irrelevant.
             outcomes = [future.result() for future in futures]
-        for future, submit_ts, outcome in zip(futures, submitted_at, outcomes):
-            turnaround = done_at.get(id(future), submit_ts) - submit_ts
+        for index, (future, submit_ts, outcome) in enumerate(
+            zip(futures, submitted_at, outcomes)
+        ):
+            done_ts = done_at.get(id(future), submit_ts)
+            turnaround = done_ts - submit_ts
             # Time not spent executing the kernel = pool queueing (plus
             # pickling, which rides along -- both are scheduling cost).
             outcome.queue_wait_s = max(0.0, turnaround - outcome.wall_s)
+            if profile is not None:
+                spans.complete(
+                    index,
+                    profile.at(done_ts),
+                    op=payloads[index][0],
+                    attempts=1,
+                    worker=getattr(outcome, "pid", 0),
+                )
         return outcomes
 
 

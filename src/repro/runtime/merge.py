@@ -53,6 +53,10 @@ class ChunkOutcome:
     #: the outcome crossed the process boundary; the supervisor verifies
     #: it to catch transport corruption (``None`` when unsupervised).
     checksum: Optional[str] = None
+    #: The worker tracer's clock origin (``None`` when untraced) -- the
+    #: handshake :meth:`repro.observe.tracer.Tracer.ingest` uses to
+    #: align worker event timestamps onto the launch timeline.
+    clock: Optional[object] = None
 
 
 @dataclasses.dataclass
@@ -99,6 +103,10 @@ class BatchReport:
     #: numerical breakdowns (zero pivot, non-PSD input, non-finite
     #: output).  Their output slots are NaN-masked; the batch completes.
     failures: list = dataclasses.field(default_factory=list)
+    #: Latency decomposition of this launch
+    #: (:class:`~repro.observe.profile.BatchProfile`); populated by the
+    #: runtime when the launch ran under an active tracer, else ``None``.
+    profile: Optional[object] = None
 
     @property
     def problems(self) -> int:

@@ -205,3 +205,64 @@ class TestDetectDrift:
         assert len(flags) >= 2
         deviations = [abs(f.deviation) for f in flags]
         assert deviations == sorted(deviations, reverse=True)
+
+
+def profile_records(queue_shares=None, stragglers=None, queues=None, n=6):
+    queue_shares = queue_shares or [0.2] * n
+    stragglers = stragglers or [1.1] * n
+    queues = queues or [0.01] * n
+    return [
+        run_record(
+            summary(),
+            profile={
+                "phases": {"queue": queues[i], "merge": 0.001},
+                "wall_s": 0.5,
+                "straggler_index": stragglers[i],
+                "queue_share": queue_shares[i],
+                "coverage": 0.95,
+            },
+        )
+        for i in range(n)
+    ]
+
+
+class TestProfileDriftPolicy:
+    """The profiler gauges are lower-is-better for drift purposes."""
+
+    @pytest.mark.parametrize("name", [
+        "profile.queue_share",
+        "profile.straggler_index",
+        "profile.phases.queue",
+        "profile.phases.merge",
+    ])
+    def test_profile_gauges_lower_is_better(self, name):
+        assert gauge_direction(name) == "lower"
+
+    def test_profile_gauges_flatten_from_records(self):
+        gauges = record_gauges(profile_records()[0])
+        assert gauges["profile.queue_share"] == pytest.approx(0.2)
+        assert gauges["profile.straggler_index"] == pytest.approx(1.1)
+        assert gauges["profile.phases.queue"] == pytest.approx(0.01)
+
+    def test_queue_share_regression_flags(self):
+        flags = detect_drift(profile_records(queue_shares=[0.2] * 5 + [0.5]))
+        flag = next(f for f in flags if f.gauge == "profile.queue_share")
+        assert flag.direction == "lower"
+        assert flag.deviation == pytest.approx(1.5)
+
+    def test_straggler_regression_flags(self):
+        flags = detect_drift(profile_records(stragglers=[1.1] * 5 + [2.0]))
+        assert any(f.gauge == "profile.straggler_index" for f in flags)
+
+    def test_phase_regression_flags(self):
+        flags = detect_drift(profile_records(queues=[0.01] * 5 + [0.05]))
+        assert any(f.gauge == "profile.phases.queue" for f in flags)
+
+    def test_improvement_is_quiet(self):
+        flags = detect_drift(
+            profile_records(
+                queue_shares=[0.2] * 5 + [0.05],
+                stragglers=[1.5] * 5 + [1.0],
+            )
+        )
+        assert [f for f in flags if f.gauge.startswith("profile.")] == []

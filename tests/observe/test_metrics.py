@@ -270,3 +270,88 @@ class TestDefaultRegistry:
     def test_set_metrics_enabled_returns_previous(self, fresh_default):
         assert set_metrics_enabled(False) is True
         assert set_metrics_enabled(True) is False
+
+
+class TestHistogramQuantile:
+    """Bucket-interpolated quantiles against known distributions."""
+
+    def _uniform_registry(self):
+        # 100 observations spread uniformly over (0, 1]: with the
+        # default buckets this fills each bucket proportionally.
+        registry = MetricsRegistry()
+        for i in range(100):
+            registry.observe("h", (i + 0.5) / 100.0, op="lu")
+        return registry
+
+    def test_median_of_uniform_0_1(self):
+        registry = self._uniform_registry()
+        median = registry.histogram_quantile("h", 0.5, op="lu")
+        # True median is 0.5, which is also a bucket bound.
+        assert median == pytest.approx(0.5, abs=0.02)
+
+    def test_p95_and_p99_of_uniform_0_1(self):
+        registry = self._uniform_registry()
+        assert registry.histogram_quantile("h", 0.95, op="lu") == pytest.approx(
+            0.95, abs=0.03
+        )
+        assert registry.histogram_quantile("h", 0.99, op="lu") == pytest.approx(
+            0.99, abs=0.03
+        )
+
+    def test_extremes(self):
+        registry = self._uniform_registry()
+        assert registry.histogram_quantile("h", 0.0, op="lu") == pytest.approx(
+            0.0, abs=0.011
+        )
+        assert registry.histogram_quantile("h", 1.0, op="lu") == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_point_mass_interpolates_within_its_bucket(self):
+        registry = MetricsRegistry()
+        for _ in range(10):
+            registry.observe("h", 0.03)  # all in the (0.025, 0.05] bucket
+        # Uniform-within-bucket assumption: quantiles interpolate the
+        # bucket span linearly.
+        assert registry.histogram_quantile("h", 0.5) == pytest.approx(0.0375)
+        assert registry.histogram_quantile("h", 1.0) == pytest.approx(0.05)
+
+    def test_first_bucket_lower_bound_is_zero(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.0005)
+        registry.observe("h", 0.0007)
+        q = registry.histogram_quantile("h", 0.5)
+        assert 0.0 <= q <= DEFAULT_BUCKETS[0]
+
+    def test_overflow_bucket_clamps_to_highest_bound(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 99.0)
+        assert registry.histogram_quantile("h", 0.5) == DEFAULT_BUCKETS[-1]
+
+    def test_absent_series_returns_none(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_quantile("h", 0.5) is None
+        registry.observe("h", 0.1, op="lu")
+        assert registry.histogram_quantile("h", 0.5, op="qr") is None
+
+    def test_invalid_q_raises(self):
+        registry = self._uniform_registry()
+        with pytest.raises(ValueError):
+            registry.histogram_quantile("h", 1.5, op="lu")
+
+    def test_quantiles_survive_merge(self):
+        a = self._uniform_registry()
+        b = self._uniform_registry()
+        a.merge(b)
+        # Doubling every bucket count leaves the distribution unchanged.
+        assert a.histogram_quantile("h", 0.95, op="lu") == pytest.approx(
+            0.95, abs=0.03
+        )
+
+    def test_monotone_in_q(self):
+        registry = self._uniform_registry()
+        values = [
+            registry.histogram_quantile("h", q, op="lu")
+            for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+        ]
+        assert values == sorted(values)

@@ -224,3 +224,64 @@ class TestTimestamps:
         charge, after = tracer.events
         assert charge.ts == 1000.0 and charge.dur == 50.0
         assert after.ts >= 1050.0
+
+
+class TestClockAlignedIngest:
+    """The clock-origin handshake: worker timelines align, not re-stamp."""
+
+    def test_origin_offset_is_perf_difference(self):
+        a = Tracer()
+        b = Tracer()
+        assert b.origin.offset_from(a.origin) == pytest.approx(
+            b.origin.perf - a.origin.perf
+        )
+
+    def test_now_advances_in_real_seconds(self):
+        tracer = Tracer()
+        first = tracer.now()
+        second = tracer.now()
+        assert 0.0 <= first <= second
+
+    def test_durations_survive_clock_aligned_ingest(self):
+        launch = Tracer()
+        worker = Tracer()
+        worker.complete("attempt", "profile", ts=0.010, dur=0.005, span_id="s")
+        launch.ingest(worker.events, clock=worker.origin)
+        (ev,) = launch.events
+        assert ev.dur == pytest.approx(0.005)
+
+    def test_relative_timing_survives_clock_aligned_ingest(self):
+        launch = Tracer()
+        worker = Tracer()
+        worker.complete("a", "profile", ts=0.001, dur=0.002)
+        worker.complete("b", "profile", ts=0.007, dur=0.001)
+        launch.ingest(worker.events, clock=worker.origin, shard=3)
+        a, b = launch.events
+        offset = worker.origin.offset_from(launch.origin)
+        assert a.ts == pytest.approx(0.001 + offset)
+        assert b.ts - a.ts == pytest.approx(0.006)
+        assert a.args["shard"] == 3
+
+    def test_two_workers_keep_cross_process_order(self):
+        launch = Tracer()
+        early = Tracer()
+        late = Tracer()
+        early.complete("x", "profile", ts=0.001, dur=0.001)
+        late.complete("y", "profile", ts=0.001, dur=0.001)
+        # Ingest in the opposite order they "ran"; alignment must land
+        # each span at its true instant regardless of fold order.
+        launch.ingest(late.events, clock=late.origin)
+        launch.ingest(early.events, clock=early.origin)
+        y, x = launch.events
+        assert (x.ts <= y.ts) == (
+            early.origin.perf + 0.001 <= late.origin.perf + 0.001
+        )
+
+    def test_clock_none_keeps_restamp_behavior(self):
+        launch = Tracer()
+        launch.instant("before", "runtime")
+        worker = Tracer()
+        worker.complete("a", "profile", ts=0.001, dur=0.002)
+        launch.ingest(worker.events, clock=None)
+        before, a = launch.events
+        assert a.ts >= before.ts
