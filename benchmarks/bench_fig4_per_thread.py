@@ -1,17 +1,20 @@
-"""Figure 4: one-problem-per-thread QR/LU, measured vs predicted."""
+"""Figure 4: one-problem-per-thread QR/LU, measured vs predicted.
+
+Runs the declarative ``benchmarks/specs/fig4.toml`` sweep through the
+experiment matrix engine and asserts the paper's anchors on the
+resulting per-cell gauges.
+"""
 
 import pytest
 
 
-def test_fig4_per_thread(regenerate, benchmark):
-    res = regenerate("fig4", batch=256)
-    ns = res.data["n"]
-    i7, i12 = ns.index(7), ns.index(12)
+def test_fig4_per_thread(sweep, benchmark):
+    result = sweep("fig4")
+    gauges = {(r.cell.op, r.cell.size): r.gauges for r in result.records}
+    qr7, qr12 = gauges[("qr", 7)], gauges[("qr", 12)]
     # The worked example: 7x7 QR ~126 GFLOPS, measured tracks the model.
-    assert res.data["qr_measured"][i7] == pytest.approx(126, rel=0.1)
-    assert res.data["qr_measured"][i7] == pytest.approx(
-        res.data["qr_predicted"][i7], rel=0.1
-    )
+    assert qr7["measured_gflops"] == pytest.approx(126, rel=0.1)
+    assert qr7["measured_gflops"] == pytest.approx(qr7["predicted_gflops"], rel=0.1)
     # Post-spill collapse: measured flat, prediction keeps climbing.
-    assert res.data["qr_measured"][i12] < 0.5 * res.data["qr_predicted"][i12]
-    benchmark.extra_info["qr_peak_gflops"] = res.data["qr_measured"][i7]
+    assert qr12["measured_gflops"] < 0.5 * qr12["predicted_gflops"]
+    benchmark.extra_info["qr_peak_gflops"] = qr7["measured_gflops"]

@@ -1,19 +1,24 @@
-"""Figure 9: one-problem-per-block QR/LU, measured vs predicted."""
+"""Figure 9: one-problem-per-block QR/LU, measured vs predicted.
+
+Runs the declarative ``benchmarks/specs/fig9.toml`` sweep through the
+experiment matrix engine and asserts the paper's shape on the resulting
+per-cell gauges.
+"""
 
 import pytest
 
 
-def test_fig9_per_block(regenerate, benchmark):
-    res = regenerate("fig9")
-    ns = res.data["n"]
-    i56, i64, i80 = ns.index(56), ns.index(64), ns.index(80)
+def test_fig9_per_block(sweep, benchmark):
+    result = sweep("fig9")
+    gauges = {(r.cell.op, r.cell.size): r.gauges for r in result.records}
+    qr56, qr64, qr80 = gauges[("qr", 56)], gauges[("qr", 64)], gauges[("qr", 80)]
     # Model tracks the measurement at the flagship size...
-    assert res.data["qr_measured"][i56] == pytest.approx(
-        res.data["qr_predicted"][i56], rel=0.25
+    assert qr56["measured_gflops"] == pytest.approx(
+        qr56["predicted_gflops"], rel=0.25
     )
     # ...diverges where registers spill (the model ignores spilling)...
-    assert res.data["qr_measured"][i64] < res.data["qr_predicted"][i64]
+    assert qr64["measured_gflops"] < qr64["predicted_gflops"]
     # ...and both drop at the 64->256 thread switch.
-    assert res.data["qr_measured"][i80] < res.data["qr_measured"][i64]
-    assert res.data["qr_predicted"][i80] < res.data["qr_predicted"][i64]
-    benchmark.extra_info["qr_56_gflops"] = res.data["qr_measured"][i56]
+    assert qr80["measured_gflops"] < qr64["measured_gflops"]
+    assert qr80["predicted_gflops"] < qr64["predicted_gflops"]
+    benchmark.extra_info["qr_56_gflops"] = qr56["measured_gflops"]

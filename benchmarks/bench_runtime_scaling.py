@@ -22,11 +22,18 @@ batch (4096 matrices, 56x56, single precision):
   both exported under ``--json``), and with no tracer active it costs
   < 2% whether profiling is enabled or globally disabled.
 
+The workload shape (problems, n, op, dtype) comes from the declarative
+``benchmarks/specs/runtime_scaling.toml`` spec -- the same cell the
+experiment matrix engine runs -- so the benchmark and any engine sweep
+measure the identical batch.
+
 Run with ``pytest benchmarks/bench_runtime_scaling.py --benchmark-only``
 (``--workers N`` to change the pool size, ``--json PATH`` to export).
 """
 
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -39,8 +46,16 @@ from repro.observe.metrics import set_metrics_enabled
 from repro.observe.profile import set_profiling_enabled
 from repro.runtime import BatchRuntime, ProblemBatch
 
-PROBLEMS = 4096
-N = 56
+SPEC = Path(__file__).parent / "specs" / "runtime_scaling.toml"
+
+
+def _workload_cell():
+    """The single cell of the runtime_scaling spec (needs tomllib)."""
+    from repro.experiments import expand_cells, load_spec
+
+    cells, _pruned = expand_cells(load_spec(SPEC))
+    assert len(cells) == 1, f"runtime_scaling spec expanded to {len(cells)} cells"
+    return cells[0]
 
 
 def _calibrate_spans(tracer):
@@ -83,8 +98,13 @@ def _overhead_rounds(
 
 
 def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
-    matrices = diagonally_dominant_batch(PROBLEMS, N, dtype=np.float32, seed=0)
-    batch = ProblemBatch.single("lu", matrices)
+    if sys.version_info < (3, 11):
+        pytest.skip("TOML experiment specs need Python 3.11+ (stdlib tomllib)")
+    cell = _workload_cell()
+    assert (cell.op, cell.precision, cell.approach) == ("lu", "float32", "runtime")
+    problems, n = cell.policy.batch, cell.size
+    matrices = diagonally_dominant_batch(problems, n, dtype=np.float32, seed=0)
+    batch = ProblemBatch.single(cell.op, matrices)
     cache_dir = tmp_path / "cache"
 
     # Legacy serial path: one unsharded launch over the whole batch.
@@ -282,8 +302,8 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
         f"({wall_profiled:.3f}s vs {wall_unprofiled:.3f}s)"
     )
 
-    benchmark.extra_info["problems"] = PROBLEMS
-    benchmark.extra_info["n"] = N
+    benchmark.extra_info["problems"] = problems
+    benchmark.extra_info["n"] = n
     benchmark.extra_info["workers"] = warm.workers
     benchmark.extra_info["chunks"] = warm.chunks
     benchmark.extra_info["mode"] = warm.mode

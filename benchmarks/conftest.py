@@ -72,6 +72,80 @@ def runtime_workers(request):
 
 
 @pytest.fixture
+def sweep(benchmark, request, tmp_path):
+    """Run one experiment spec through the matrix engine under the timer.
+
+    Loads ``benchmarks/specs/<name>.toml``, executes it with
+    :func:`repro.experiments.run_spec` (fresh artifact dir per round, a
+    shared calibration cache so warm rounds skip calibration), and
+    returns the :class:`~repro.experiments.SweepResult`.  Under
+    ``--json`` the per-cell gauges are exported the same way
+    ``regenerate`` exports experiment series.
+    """
+    import sys
+
+    if sys.version_info < (3, 11):
+        pytest.skip("TOML experiment specs need Python 3.11+ (stdlib tomllib)")
+
+    from repro.experiments import load_spec, run_spec
+
+    state = {}
+    specs_dir = Path(__file__).parent / "specs"
+
+    def _run(spec_name: str, **run_kwargs):
+        spec = load_spec(specs_dir / f"{spec_name}.toml")
+        rounds = {"count": 0}
+
+        def _once():
+            rounds["count"] += 1
+            return run_spec(
+                spec,
+                tmp_path / f"{spec.name}-{rounds['count']}",
+                cache_dir=tmp_path / "cache",
+                resume=False,
+                **run_kwargs,
+            )
+
+        result = benchmark.pedantic(_once, rounds=3, iterations=1, warmup_rounds=0)
+        state["result"] = result
+        failed = [r.cell.id for r in result.records if r.status == "failed"]
+        assert not failed, f"sweep cells failed: {failed}"
+        return result
+
+    yield _run
+
+    json_path = request.config.getoption("--json")
+    if json_path and state:
+        from repro.observe.export import metrics_record, write_metrics
+
+        result = state["result"]
+        gauges = {}
+        for record in result.records:
+            if record.status == "ok":
+                for key, value in record.gauges.items():
+                    gauges[f"{record.cell.id}.{key}"] = value
+        stats = {}
+        if benchmark.stats is not None:
+            stats = {
+                "mean_s": benchmark.stats.stats.mean,
+                "min_s": benchmark.stats.stats.min,
+                "rounds": benchmark.stats.stats.rounds,
+            }
+        write_metrics(
+            json_path,
+            metrics_record(
+                name=request.node.name,
+                metrics=gauges,
+                experiment_id=result.spec.name,
+                title=result.spec.title,
+                fingerprint=result.fingerprint,
+                extra_info=dict(benchmark.extra_info),
+                timing=stats,
+            ),
+        )
+
+
+@pytest.fixture
 def regenerate(benchmark, request):
     """Run one experiment under the benchmark timer and print its report."""
     state = {}

@@ -77,7 +77,8 @@ def _walkthrough() -> None:
 
     factors = QrFactors(packed=result.output, taus=result.extra)
     q = qr_unpack(factors)
-    print(f"  reconstruction error: {qr_reconstruction_error(sample, q, factors.r()):.2e}")
+    rec_err = qr_reconstruction_error(sample, q, factors.r())
+    print(f"  reconstruction error: {rec_err:.2e}")
     print(f"  orthogonality error:  {orthogonality_error(q):.2e}")
 
     # --- 2. Measured vs modeled vs CPU. --------------------------------

@@ -8,7 +8,12 @@ platform/mapping combinations meet the QR phase's deadline, and what is
 the fastest radar each could serve?
 """
 
-from repro.approaches import CpuLapackApproach, PerBlockApproach, TiledQrApproach, Workload
+from repro.approaches import (
+    CpuLapackApproach,
+    PerBlockApproach,
+    TiledQrApproach,
+    Workload,
+)
 from repro.reporting import format_table
 from repro.stap import RT_STAP_CASES, RealTimeBudget, assess_realtime
 

@@ -1,153 +1,82 @@
 #!/usr/bin/env python
-"""Gate CI on the figure benchmarks' headline numbers.
+"""Gate CI on the experiment engine's matrix artifact.
 
-Reads the JSON-array metrics file produced by::
+Reads the ``matrix.json`` produced by::
 
-    pytest benchmarks/bench_fig4_per_thread.py benchmarks/bench_fig9_per_block.py \
-        --benchmark-only --json BENCH_ci.json
+    python -m repro.experiments run benchmarks/specs/ci_regression.toml \
+        --out BENCH_matrix
 
-and compares a set of machine-independent gauges against the checked-in
-baseline (``benchmarks/baselines/ci_baseline.json`` by default):
+and compares it against the checked-in baseline matrix
+(``benchmarks/baselines/ci_baseline.json`` by default) with the
+direction-aware semantics of :mod:`repro.experiments.gate`: throughput
+gauges may not drop more than ``--tolerance`` (default 10%), model-error
+and failure gauges may not rise more than it, structural gauges
+(chunks, problems, cell statuses) must match exactly, and a gauge that
+disappears from the current run fails the gate.
 
-* every numeric ``extra_info`` entry (headline GFLOPS -- higher is better),
-* the peak of every ``<op>_measured`` series (higher is better),
-* the mean relative model error wherever a ``<op>_measured`` /
-  ``<op>_predicted`` pair exists (lower is better).
-
-Wall-clock timings are deliberately excluded: the simulated GPU is
-deterministic, so its throughput/accuracy numbers are portable across CI
-hosts while ``timing`` is not.  A gauge regressing by more than
-``--tolerance`` (direction-aware, default 10%) fails the gate, as does a
-gauge that disappears from the current run.  ``--update`` rewrites the
-baseline from the current metrics instead of checking.
+Wall-clock timings never enter the matrix: the simulated GPU is
+deterministic, so its throughput/accuracy numbers are portable across
+CI hosts while wall time is not.  ``--update`` rewrites the baseline
+from the current matrix instead of checking (prefer
+``scripts/regen_baseline.py``, which re-runs the spec from scratch).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import shutil
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / (
-    "benchmarks/baselines/ci_baseline.json"
-)
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
-#: Additive slack for lower-is-better gauges whose baseline is ~0 (a
-#: perfect model error must be allowed to wiggle in the last float bits).
-ABS_SLACK = 1e-9
+from repro.experiments import diff_artifacts, load_artifact  # noqa: E402
 
-
-def extract_gauges(records: list[dict]) -> dict[str, dict]:
-    """Flatten benchmark records into ``{gauge: {value, direction}}``."""
-    gauges: dict[str, dict] = {}
-
-    def put(name: str, value: float, direction: str) -> None:
-        gauges[name] = {"value": float(value), "direction": direction}
-
-    for record in records:
-        bench = record.get("name", "unknown")
-        for key, value in (record.get("extra_info") or {}).items():
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                put(f"{bench}.{key}", value, "higher")
-        metrics = record.get("metrics") or {}
-        for key, series in metrics.items():
-            if not key.endswith("_measured"):
-                continue
-            op = key[: -len("_measured")]
-            measured = _numeric_series(series)
-            if measured:
-                put(f"{bench}.throughput.{op}_peak", max(measured), "higher")
-            predicted = _numeric_series(metrics.get(f"{op}_predicted"))
-            if measured and predicted and len(measured) == len(predicted):
-                errs = [abs(m - p) / abs(m) for m, p in zip(measured, predicted) if m]
-                if errs:
-                    put(
-                        f"{bench}.accuracy.{op}_mean_rel_err",
-                        sum(errs) / len(errs),
-                        "lower",
-                    )
-    return gauges
-
-
-def _numeric_series(series) -> list[float]:
-    if not isinstance(series, list):
-        return []
-    out = []
-    for v in series:
-        if isinstance(v, (int, float)) and not isinstance(v, bool):
-            out.append(float(v))
-        else:
-            return []
-    return out
-
-
-def compare(
-    current: dict[str, dict], baseline: dict[str, dict], tolerance: float
-) -> list[str]:
-    """Return a list of human-readable failures (empty == gate passes)."""
-    failures = []
-    for name, base in sorted(baseline.items()):
-        if name not in current:
-            failures.append(f"{name}: gauge missing from current run")
-            continue
-        value = current[name]["value"]
-        ref = base["value"]
-        if base["direction"] == "higher":
-            limit = ref * (1.0 - tolerance)
-            if value < limit:
-                failures.append(
-                    f"{name}: {value:.4g} < {limit:.4g} "
-                    f"(baseline {ref:.4g}, -{tolerance:.0%} allowed)"
-                )
-        else:
-            limit = ref * (1.0 + tolerance) + ABS_SLACK
-            if value > limit:
-                failures.append(
-                    f"{name}: {value:.4g} > {limit:.4g} "
-                    f"(baseline {ref:.4g}, +{tolerance:.0%} allowed)"
-                )
-    return failures
+DEFAULT_BASELINE = REPO / "benchmarks/baselines/ci_baseline.json"
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("metrics", type=Path, help="JSON file from --json")
+    parser.add_argument(
+        "matrix", type=Path, help="matrix.json from python -m repro.experiments run"
+    )
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.10)
     parser.add_argument(
         "--update",
         action="store_true",
-        help="rewrite the baseline from the current metrics and exit",
+        help="copy the current matrix over the baseline and exit",
     )
     args = parser.parse_args(argv)
 
-    records = json.loads(args.metrics.read_text())
-    if not isinstance(records, list) or not records:
-        print(f"error: {args.metrics} holds no benchmark records", file=sys.stderr)
-        return 2
-    current = extract_gauges(records)
-    if not current:
-        print(f"error: no gauges extracted from {args.metrics}", file=sys.stderr)
+    try:
+        current = load_artifact(args.matrix)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(
-            json.dumps({"gauges": current}, indent=2, sort_keys=True) + "\n"
+        shutil.copyfile(args.matrix, args.baseline)
+        print(
+            f"baseline updated: {args.baseline} "
+            f"({len(current.get('cells', []))} cells)"
         )
-        print(f"baseline updated: {args.baseline} ({len(current)} gauges)")
         return 0
 
-    baseline = json.loads(args.baseline.read_text())["gauges"]
-    failures = compare(current, baseline, args.tolerance)
-    for name in sorted(set(current) - set(baseline)):
-        print(f"note: new gauge not in baseline (run --update): {name}")
-    for line in failures:
-        print(f"REGRESSION {line}")
-    checked = len(baseline)
-    if failures:
-        print(f"{len(failures)} of {checked} gauges regressed")
+    try:
+        baseline = load_artifact(args.baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = diff_artifacts(current, baseline, args.tolerance)
+    for line in report.lines():
+        print(line)
+    checked = len(report.deltas)
+    if not report.ok:
+        print(f"{len(report.failures)} of {checked} gauges regressed")
         return 1
     print(f"all {checked} gauges within {args.tolerance:.0%} of baseline")
     return 0

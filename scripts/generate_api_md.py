@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.observe",
     "repro.analyze",
     "repro.reporting",
+    "repro.experiments",
     "repro.errors",
 ]
 
@@ -38,7 +39,8 @@ Narrative guides: [model derivations](model.md) --
 [observability (tracing, counters, attribution)](observability.md) --
 [batch runtime (sharded execution, caches, CI gate)](runtime.md) --
 [resilience (retries, quarantine, checkpoints, fault injection)](resilience.md) --
-[correctness analysis (race sanitizer, protocol linter)](analyze.md).
+[correctness analysis (race sanitizer, protocol linter)](analyze.md) --
+[experiment matrices (declarative sweeps, CI gating)](experiments.md).
 """
 
 

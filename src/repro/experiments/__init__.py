@@ -1,0 +1,75 @@
+"""Declarative experiment matrix engine (ROADMAP item 5).
+
+The paper validates its predictive model across a grid of
+device x op x size x approach cells (Tables IV-VII, Figures 4-12); this
+package turns that methodology into infrastructure.  A ~20-line TOML (or
+JSON) *spec* declares the axes of a sweep plus include/exclude
+constraints and per-cell repeat/budget policy; the engine expands it
+into a deterministic cell plan, runs every cell through the measurement
+backends (the sharded :class:`~repro.runtime.BatchRuntime` for real
+kernel execution, the approach layer for replay sweeps), journals each
+finished cell so a killed sweep resumes bitwise-identically, and emits:
+
+* ``matrix.json`` -- the canonical per-cell gauge matrix (deterministic
+  bytes: the simulated engine is reproducible, so this artifact diffs
+  cleanly across commits and machines);
+* ``run.json`` -- wall-clock timings and resume bookkeeping (the
+  non-deterministic sidecar);
+* a sweep record in the :class:`~repro.observe.history.RunHistory`
+  store, so ``python -m repro.observe.report`` aggregates drift across
+  sweeps.
+
+``python -m repro.experiments`` drives it: ``plan`` (dry-run the cell
+plan), ``run`` (execute; ``--strict`` gates against the spec's baseline
+artifact with direction-aware tolerances), and ``diff`` (compare two
+artifacts).  See ``docs/experiments.md`` and ``benchmarks/specs/``.
+"""
+
+from .engine import SweepResult, run_spec
+from .gate import (
+    MATRIX_SCHEMA,
+    artifact_gauges,
+    compare_gauges,
+    diff_artifacts,
+    load_artifact,
+)
+from .runner import APPROACHES, CellRecord, run_cell
+from .spec import (
+    AXES,
+    DEVICES,
+    PRECISIONS,
+    Cell,
+    CellPolicy,
+    Constraint,
+    ExperimentSpec,
+    SpecError,
+    expand_cells,
+    load_spec,
+    plan_fingerprint,
+    spec_from_dict,
+)
+
+__all__ = [
+    "AXES",
+    "APPROACHES",
+    "DEVICES",
+    "MATRIX_SCHEMA",
+    "PRECISIONS",
+    "Cell",
+    "CellPolicy",
+    "CellRecord",
+    "Constraint",
+    "ExperimentSpec",
+    "SpecError",
+    "SweepResult",
+    "artifact_gauges",
+    "compare_gauges",
+    "diff_artifacts",
+    "expand_cells",
+    "load_artifact",
+    "load_spec",
+    "plan_fingerprint",
+    "run_cell",
+    "run_spec",
+    "spec_from_dict",
+]

@@ -82,7 +82,9 @@ def occupancy(
     regs_per_thread_granted = unit * math.ceil(max(1, registers_per_thread) / unit)
     regs_per_block = regs_per_thread_granted * warps * warp
     limits["registers"] = (
-        device.registers_per_sm // regs_per_block if regs_per_block else limits["blocks"]
+        device.registers_per_sm // regs_per_block
+        if regs_per_block
+        else limits["blocks"]
     )
 
     if shared_bytes_per_block:

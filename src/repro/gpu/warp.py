@@ -28,7 +28,9 @@ def warps_in_block(device: DeviceSpec, threads: int) -> int:
     return math.ceil(threads / device.warp_size)
 
 
-def exposed_latency(latency: float, active_warps: int, issue_interval: float = 1.0) -> float:
+def exposed_latency(
+    latency: float, active_warps: int, issue_interval: float = 1.0
+) -> float:
     """Stall cycles actually visible to one warp's dependent chain.
 
     While one warp waits ``latency`` cycles, the other ``active_warps - 1``

@@ -72,7 +72,11 @@ def hermitian_batch(
 
 
 def rhs_batch(
-    batch: int, n: int, nrhs: int = 1, dtype=np.float32, seed: int | np.random.Generator = 1
+    batch: int,
+    n: int,
+    nrhs: int = 1,
+    dtype=np.float32,
+    seed: int | np.random.Generator = 1,
 ) -> np.ndarray:
     """Right-hand sides matching a square batch: shape (batch, n, nrhs)."""
     return random_batch(batch, n, nrhs, dtype=dtype, seed=seed)

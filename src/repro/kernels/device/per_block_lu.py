@@ -116,4 +116,8 @@ def per_block_lu(
 
     not_solved |= kernel.extract_column(n - 1, n - 1)[:, 0] == 0
     out = kernel.store()
-    return kernel.result(out, flops_per_problem=(4 if kernel.complex else 1) * lu_flops(n), extra=not_solved)
+    return kernel.result(
+        out,
+        flops_per_problem=(4 if kernel.complex else 1) * lu_flops(n),
+        extra=not_solved,
+    )

@@ -94,8 +94,12 @@ class MklKernelModel:
 
 #: Calibration targets (see module docstring).
 _KERNELS_REAL = {
-    "qr": MklKernelModel(gmax=26.2e9, w_half=0.75e6, small_overhead=3e-6, small_rate=2.0e9),
-    "lu": MklKernelModel(gmax=30.0e9, w_half=0.60e6, small_overhead=3e-6, small_rate=2.5e9),
+    "qr": MklKernelModel(
+        gmax=26.2e9, w_half=0.75e6, small_overhead=3e-6, small_rate=2.0e9
+    ),
+    "lu": MklKernelModel(
+        gmax=30.0e9, w_half=0.60e6, small_overhead=3e-6, small_rate=2.5e9
+    ),
     "gauss_jordan": MklKernelModel(
         gmax=30.0e9, w_half=0.60e6, small_overhead=3e-6, small_rate=2.5e9
     ),
@@ -104,8 +108,12 @@ _KERNELS_REAL = {
     ),
 }
 _KERNELS_COMPLEX = {
-    "qr": MklKernelModel(gmax=28.4e9, w_half=0.61e6, small_overhead=3e-6, small_rate=2.5e9),
-    "lu": MklKernelModel(gmax=32.0e9, w_half=0.55e6, small_overhead=3e-6, small_rate=3.0e9),
+    "qr": MklKernelModel(
+        gmax=28.4e9, w_half=0.61e6, small_overhead=3e-6, small_rate=2.5e9
+    ),
+    "lu": MklKernelModel(
+        gmax=32.0e9, w_half=0.55e6, small_overhead=3e-6, small_rate=3.0e9
+    ),
     "gauss_jordan": MklKernelModel(
         gmax=32.0e9, w_half=0.55e6, small_overhead=3e-6, small_rate=3.0e9
     ),

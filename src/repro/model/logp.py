@@ -57,7 +57,11 @@ class LocalPhase:
 def global_time(params: ModelParameters, phase: GlobalPhase) -> float:
     """Equation 1, in cycles."""
     bandwidth_cycles = params.device.seconds_to_cycles(phase.bytes * params.beta_glb)
-    return phase.messages * params.alpha_glb + bandwidth_cycles + phase.flops * params.gamma
+    return (
+        phase.messages * params.alpha_glb
+        + bandwidth_cycles
+        + phase.flops * params.gamma
+    )
 
 
 def local_time(params: ModelParameters, phase: LocalPhase) -> float:

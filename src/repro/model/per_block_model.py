@@ -84,7 +84,9 @@ class ColumnEstimate:
         return sum(op.total for op in self.ops)
 
 
-def _reduction_cycles(params: ModelParameters, rdim: int, op_factor: int) -> tuple[float, float]:
+def _reduction_cycles(
+    params: ModelParameters, rdim: int, op_factor: int
+) -> tuple[float, float]:
     """(shared, flops) cycles of one serial cross-thread reduction.
 
     Table VI: ``(1 + sqrt(p)) beta + sqrt(p) gamma``.

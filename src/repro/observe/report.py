@@ -141,7 +141,16 @@ def render_report(
     else:
         sections.append(
             format_table(
-                ["time", "ops", "problems", "chunks", "workers", "mode", "wall_s", "regime"],
+                [
+                    "time",
+                    "ops",
+                    "problems",
+                    "chunks",
+                    "workers",
+                    "mode",
+                    "wall_s",
+                    "regime",
+                ],
                 _run_rows(records, runs),
                 title=f"Recent runs ({min(runs, len(records))} of {len(records)})",
             )

@@ -147,7 +147,10 @@ def run_fig1(device: DeviceSpec = QUADRO_6000, hops: int = 512) -> ExperimentRes
         title="Figure 1: global memory latency vs access stride",
     )
     return ExperimentResult(
-        "fig1", "Global latency vs stride", report, {"log2_stride": log2, "latency": lats}
+        "fig1",
+        "Global latency vs stride",
+        report,
+        {"log2_stride": log2, "latency": lats},
     )
 
 
@@ -197,7 +200,9 @@ def run_fig4(
 # ----------------------------------------------------------------------
 # Figure 7: layouts
 # ----------------------------------------------------------------------
-def run_fig7(device: DeviceSpec = QUADRO_6000, sizes=range(16, 97, 16)) -> ExperimentResult:
+def run_fig7(
+    device: DeviceSpec = QUADRO_6000, sizes=range(16, 97, 16)
+) -> ExperimentResult:
     """Figure 7: 1D vs 2D layouts for the QR solver."""
     params = _params(device)
     ns = list(sizes)
@@ -313,7 +318,11 @@ def run_fig10(
     sizes=(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
 ) -> ExperimentResult:
     """Figure 10: the three approaches across the design space."""
-    pt, pb, hy = PerThreadApproach(device), PerBlockApproach(device), HybridBlockedApproach()
+    pt, pb, hy = (
+        PerThreadApproach(device),
+        PerBlockApproach(device),
+        HybridBlockedApproach(),
+    )
     ns = list(sizes)
     data = {}
     for kind in ("qr", "lu"):

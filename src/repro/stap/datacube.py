@@ -95,7 +95,8 @@ def space_time_steering(
     first two axes.
     """
     return np.kron(
-        spatial_steering(channels, angle, dtype), temporal_steering(pulses, doppler, dtype)
+        spatial_steering(channels, angle, dtype),
+        temporal_steering(pulses, doppler, dtype),
     ).astype(dtype)
 
 

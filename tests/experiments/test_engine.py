@@ -1,0 +1,164 @@
+"""Engine determinism, artifacts, history, and the CLI."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_spec, spec_from_dict
+from repro.experiments.cli import main
+from repro.experiments.engine import journal_path
+
+
+def small_doc(**overrides):
+    doc = {
+        "experiment": {"name": "enginetest", "title": "engine unit sweep", "seed": 5},
+        "axes": {
+            "device": ["quadro6000"],
+            "op": ["qr", "lu"],
+            "size": [4, 8],
+            "precision": ["float32"],
+            "approach": ["cpu"],
+        },
+        "policy": {"batch": 8},
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "enginetest.json"
+    path.write_text(json.dumps(small_doc()))
+    return path
+
+
+class TestRunSpec:
+    def test_matrix_is_bitwise_deterministic(self, tmp_path):
+        spec = spec_from_dict(small_doc())
+        a = run_spec(spec, tmp_path / "a", cache_dir=tmp_path / "cache")
+        b = run_spec(spec, tmp_path / "b", cache_dir=tmp_path / "cache")
+        assert a.matrix_path.read_bytes() == b.matrix_path.read_bytes()
+        assert a.ok and a.counts.get("ok") == 4
+        assert not journal_path(tmp_path / "a").exists()
+
+    def test_run_sidecar_keeps_wall_out_of_matrix(self, tmp_path):
+        spec = spec_from_dict(small_doc())
+        result = run_spec(spec, tmp_path / "out", cache_dir=tmp_path / "cache")
+        matrix = json.loads(result.matrix_path.read_text())
+        run = json.loads(result.run_path.read_text())
+        assert "wall_s" not in json.dumps(matrix["cells"])
+        assert run["wall_s"] > 0
+        assert [c["id"] for c in matrix["cells"]] == [c.id for c in result.cells]
+
+    def test_unsupported_combination_is_recorded_not_fatal(self, tmp_path):
+        doc = small_doc()
+        doc["axes"]["op"] = ["qr", "cholesky"]  # cholesky needs the runtime
+        result = run_spec(
+            spec_from_dict(doc), tmp_path / "out", cache_dir=tmp_path / "cache"
+        )
+        by_status = result.counts
+        assert by_status["unsupported"] == 2
+        assert result.ok  # unsupported is not a failure
+
+    def test_budget_overrun_reported(self, tmp_path):
+        doc = small_doc(policy={"batch": 8, "budget_s": 1e-12})
+        result = run_spec(
+            spec_from_dict(doc), tmp_path / "out", cache_dir=tmp_path / "cache"
+        )
+        assert set(result.budget_overruns) == {c.id for c in result.cells}
+
+    def test_history_gets_one_sweep_record(self, tmp_path):
+        spec = spec_from_dict(small_doc())
+        history = tmp_path / "history.jsonl"
+        run_spec(
+            spec, tmp_path / "out", cache_dir=tmp_path / "cache", history=history
+        )
+        records = [
+            json.loads(line) for line in history.read_text().splitlines() if line
+        ]
+        assert len(records) == 1
+        (record,) = records
+        assert record["kind"] == "sweep"
+        assert {c["label"] for c in record["cells"]} == {c.id for c in spec_cells(spec)}
+        assert record["summary"]["mode"] == "sweep"
+
+
+def spec_cells(spec):
+    from repro.experiments import expand_cells
+
+    return expand_cells(spec)[0]
+
+
+class TestCli:
+    def test_plan_prints_cells_and_fingerprint(self, spec_path, capsys):
+        assert main(["plan", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quadro6000" in out and "qr" in out
+        assert "plan fingerprint:" in out
+
+    def test_run_then_diff_round_trip(self, spec_path, tmp_path, capsys):
+        out_a = tmp_path / "a"
+        out_b = tmp_path / "b"
+        assert main(["run", str(spec_path), "--out", str(out_a)]) == 0
+        assert main(["run", str(spec_path), "--out", str(out_b)]) == 0
+        code = main(
+            ["diff", str(out_a / "matrix.json"), str(out_b / "matrix.json")]
+        )
+        assert code == 0
+
+    def test_strict_fails_against_inflated_baseline(self, spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "real"
+        assert main(["run", str(spec_path), "--out", str(out_dir)]) == 0
+        doc = json.loads((out_dir / "matrix.json").read_text())
+        for cell in doc["cells"]:
+            for key in cell.get("gauges", {}):
+                if key == "measured_gflops":
+                    cell["gauges"][key] *= 10.0
+        baseline = tmp_path / "inflated.json"
+        baseline.write_text(json.dumps(doc))
+        code = main(
+            [
+                "run",
+                str(spec_path),
+                "--out",
+                str(tmp_path / "gated"),
+                "--strict",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_strict_without_baseline_exits_2(self, spec_path, tmp_path, capsys):
+        code = main(
+            ["run", str(spec_path), "--out", str(tmp_path / "out"), "--strict"]
+        )
+        assert code == 2
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"axes": {}}))
+        assert main(["plan", str(bad)]) == 2
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="stdlib tomllib needs Python 3.11+"
+    )
+    def test_checked_in_smoke_spec_gates_against_its_baseline(self, tmp_path):
+        spec = (
+            Path(__file__).parents[2] / "benchmarks" / "specs" / "ci_smoke.toml"
+        )
+        code = main(
+            [
+                "run",
+                str(spec),
+                "--out",
+                str(tmp_path / "smoke"),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--strict",
+            ]
+        )
+        assert code == 0

@@ -40,9 +40,10 @@ class TestModelTracksEngine:
     def test_no_spill_sizes_within_25_percent(self, kind, n):
         params = ModelParameters.paper_table_iv()
         predicted = predict_per_block(params, kind, n).gflops
-        gen = random_batch if kind == "qr" else (
-            lambda b, m, k, dtype, seed: diagonally_dominant_batch(b, m, dtype=dtype, seed=seed)
-        )
+        def dd_gen(b, m, k, dtype, seed):
+            return diagonally_dominant_batch(b, m, dtype=dtype, seed=seed)
+
+        gen = random_batch if kind == "qr" else dd_gen
         a = gen(2, n, n, dtype=np.float32, seed=n)
         runner = per_block_qr if kind == "qr" else per_block_lu
         measured = runner(a).launch.throughput_gflops()

@@ -38,13 +38,17 @@ class TestCholesky:
         a = hermitian_batch(4, 10, dtype=np.float64, seed=1)
         spd = a @ np.swapaxes(a, 1, 2) + 10 * np.eye(10)
         chol = cholesky_factor(spd, fast_math=False)
-        np.testing.assert_allclose(chol @ np.swapaxes(chol.conj(), 1, 2), spd, atol=1e-10)
+        np.testing.assert_allclose(
+            chol @ np.swapaxes(chol.conj(), 1, 2), spd, atol=1e-10
+        )
 
     def test_reconstruction_complex(self):
         a = hermitian_batch(4, 8, dtype=np.complex128, seed=2)
         hpd = a @ np.swapaxes(a.conj(), 1, 2) + 8 * np.eye(8)
         chol = cholesky_factor(hpd, fast_math=False)
-        np.testing.assert_allclose(chol @ np.swapaxes(chol.conj(), 1, 2), hpd, atol=1e-10)
+        np.testing.assert_allclose(
+            chol @ np.swapaxes(chol.conj(), 1, 2), hpd, atol=1e-10
+        )
 
     def test_lower_triangular(self):
         spd = np.eye(6, dtype=np.float32)[None] * 4.0

@@ -60,7 +60,8 @@ class TestBlockedQr:
         q_ref = np.eye(10)[None]
         for k in range(4):
             vk = v[:, :, k][:, :, None]
-            h = np.eye(10)[None] - f.taus[:, k, None, None] * (vk @ np.swapaxes(vk, 1, 2))
+            outer = vk @ np.swapaxes(vk, 1, 2)
+            h = np.eye(10)[None] - f.taus[:, k, None, None] * outer
             q_ref = q_ref @ h
         np.testing.assert_allclose(q_block, q_ref, atol=1e-13)
 

@@ -32,7 +32,9 @@ class TestCorrectness:
         a = hermitian_batch(5, 8, dtype=np.complex128, seed=2)
         v = jacobi_eigh(a.copy()).eigenvectors
         gram = np.swapaxes(v.conj(), 1, 2) @ v
-        np.testing.assert_allclose(gram, np.broadcast_to(np.eye(8), gram.shape), atol=1e-12)
+        np.testing.assert_allclose(
+            gram, np.broadcast_to(np.eye(8), gram.shape), atol=1e-12
+        )
 
     def test_eigenvalues_ascending(self):
         a = hermitian_batch(4, 12, dtype=np.float64, seed=3)

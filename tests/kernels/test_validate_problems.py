@@ -17,7 +17,11 @@ from repro.kernels.batched import (
     solve_residual,
     triangular_error,
 )
-from repro.kernels.batched.validate import as_batch, check_square_batch, check_tall_batch
+from repro.kernels.batched.validate import (
+    as_batch,
+    check_square_batch,
+    check_tall_batch,
+)
 
 
 class TestAsBatch:

@@ -48,7 +48,8 @@ class TestCyclic2D:
             for tj in range(4):
                 for ii in range(2):
                     for jj in range(2):
-                        assert tiles[0, ti, tj, ii, jj] == a[0, ti + 4 * ii, tj + 4 * jj]
+                        expected = a[0, ti + 4 * ii, tj + 4 * jj]
+                        assert tiles[0, ti, tj, ii, jj] == expected
 
     def test_roundtrip(self):
         lay = Cyclic2D(8, 8, 16)
@@ -78,9 +79,9 @@ class TestCyclic2D:
     def test_complex_dtype_roundtrip(self):
         lay = Cyclic2D(6, 6, 4)
         rng = np.random.default_rng(1)
-        a = (rng.standard_normal((2, 6, 6)) + 1j * rng.standard_normal((2, 6, 6))).astype(
-            np.complex64
-        )
+        re = rng.standard_normal((2, 6, 6))
+        im = rng.standard_normal((2, 6, 6))
+        a = (re + 1j * im).astype(np.complex64)
         np.testing.assert_array_equal(lay.gather(lay.scatter(a)), a)
 
 

@@ -82,4 +82,5 @@ class TestGeometry:
     def test_register_need_grows_with_n(self, n):
         a = block_config(n, n)
         b = block_config(n - 1, n - 1)
-        assert a.registers_per_thread >= b.registers_per_thread or a.threads != b.threads
+        grows = a.registers_per_thread >= b.registers_per_thread
+        assert grows or a.threads != b.threads
