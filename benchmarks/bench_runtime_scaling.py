@@ -20,7 +20,11 @@ batch (4096 matrices, 56x56, single precision):
 * the critical-path profiler rides along on the traced run (phase
   decomposition summing to the batch wall, a real chunk critical path,
   both exported under ``--json``), and with no tracer active it costs
-  < 2% whether profiling is enabled or globally disabled.
+  < 2% whether profiling is enabled or globally disabled,
+* structured logging is pay-for-use: with ``REPRO_LOG`` unset a launch
+  pays one flag check per instrumented site (< 2% vs a force-enabled
+  launch into a tmp sink), a logged launch stays bitwise-identical, and
+  the sink it leaves behind carries span-stamped JSONL records.
 
 The workload shape (problems, n, op, dtype) comes from the declarative
 ``benchmarks/specs/runtime_scaling.toml`` spec -- the same cell the
@@ -302,6 +306,78 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
         f"({wall_profiled:.3f}s vs {wall_unprofiled:.3f}s)"
     )
 
+    # Logging tripwire: REPRO_LOG is unset here, so the default launch
+    # pays one module-flag check per instrumented site.  Force-enabling
+    # the logger into a tmp sink must stay within 2% (the sink is ~a
+    # dozen O_APPEND lines per launch) and must not perturb numerics.
+    log_path = tmp_path / "events.jsonl"
+    from repro.observe import log as obslog
+
+    log_reports = {}
+
+    def _logged_run(enabled: bool) -> float:
+        previous_flag = obslog.set_log_enabled(enabled)
+        previous_sink = obslog.set_default_logger(
+            obslog.StructuredLogger(log_path) if enabled else None
+        )
+        try:
+            runtime = BatchRuntime(
+                workers=runtime_workers, cache_directory=cache_dir
+            )
+            t0 = time.perf_counter()
+            log_reports[enabled] = runtime.run(batch)
+            return time.perf_counter() - t0
+        finally:
+            obslog.set_log_enabled(previous_flag)
+            obslog.set_default_logger(previous_sink)
+
+    wall_unlogged, wall_logged = _overhead_rounds(
+        lambda: _logged_run(False),
+        lambda: _logged_run(True),
+        1.02,
+        0.02,
+        alternate=True,
+    )
+    log_overhead = wall_unlogged / wall_logged - 1.0
+    print(
+        f"logging off: {wall_unlogged:.3f}s | on: {wall_logged:.3f}s "
+        f"| off-path overhead {log_overhead:+.1%}"
+    )
+    assert wall_unlogged <= wall_logged * 1.02 + 0.02, (
+        f"logging-off overhead {log_overhead:+.1%} exceeds 2% "
+        f"({wall_unlogged:.3f}s vs {wall_logged:.3f}s)"
+    )
+    # The logged launch is bitwise-identical to the unlogged (and serial)
+    # one, and its sink carries schema-stamped, span-stamped records.
+    assert np.array_equal(log_reports[True].output, log_reports[False].output)
+    assert np.array_equal(log_reports[True].output, serial.output)
+    from repro.observe.log import read_log
+
+    log_records = read_log(log_path)
+    assert log_records, f"no structured records landed in {log_path}"
+    launch_events = [r for r in log_records if r["event"] == "runtime.launch"]
+    assert launch_events, "logged launch left no runtime.launch record"
+
+    # A *traced* logged launch stamps its records with the profiler's
+    # deterministic span ids, joining log lines to flamegraph spans.
+    traced_log = tmp_path / "events_traced.jsonl"
+    previous_flag = obslog.set_log_enabled(True)
+    previous_sink = obslog.set_default_logger(obslog.StructuredLogger(traced_log))
+    try:
+        runtime = BatchRuntime(workers=runtime_workers, cache_directory=cache_dir)
+        with tracing():
+            runtime.run(batch)
+    finally:
+        obslog.set_log_enabled(previous_flag)
+        obslog.set_default_logger(previous_sink)
+    traced_records = read_log(traced_log)
+    spanned = [
+        r
+        for r in traced_records
+        if isinstance(r.get("span_id"), str) and r["span_id"].startswith("batch:")
+    ]
+    assert spanned, "traced logged launch left no span-stamped records"
+
     benchmark.extra_info["problems"] = problems
     benchmark.extra_info["n"] = n
     benchmark.extra_info["workers"] = warm.workers
@@ -312,4 +388,5 @@ def test_runtime_scaling(benchmark, runtime_workers, tmp_path):
     benchmark.extra_info["sanitizer_off_overhead"] = sanitizer_overhead
     benchmark.extra_info["resilience_overhead"] = resilience_overhead
     benchmark.extra_info["profiler_off_overhead"] = profiler_overhead
+    benchmark.extra_info["logging_off_overhead"] = log_overhead
     benchmark.extra_info["profile"] = profile.to_dict()

@@ -25,7 +25,10 @@ runtime's pool size (default 2 here).
 Set ``REPRO_TRACE=trace.json`` to run the whole walkthrough under the
 event tracer and write a Chrome ``trace_event`` file (open it at
 chrome://tracing or https://ui.perfetto.dev) -- see
-docs/observability.md.
+docs/observability.md.  Set ``REPRO_LOG=1`` to also stream structured
+JSONL log records (trace-correlated via span ids) to
+``<cache dir>/events.jsonl``, ready for the SLO gate
+``python -m repro.observe.alerts check``.
 """
 
 import os
@@ -204,6 +207,12 @@ def _walkthrough() -> None:
     print(f"\nMetrics snapshot: {snapshot} (+ .prom sibling)")
     if history is not None:
         print(f"Run history:      {history.path} ({len(history)} records)")
+    from repro.observe import log as obslog
+
+    if obslog.log_enabled():
+        print(f"Structured log:   {obslog.default_logger().path}")
+        print("SLO gate:         python -m repro.observe.alerts check "
+              "benchmarks/specs/slo_default.toml --strict")
     print("Dashboard:        python -m repro.observe.report")
 
 

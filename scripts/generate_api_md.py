@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.tiled",
     "repro.stap",
     "repro.observe",
+    "repro.observe.alerts",
+    "repro.observe.log",
     "repro.analyze",
     "repro.reporting",
     "repro.experiments",

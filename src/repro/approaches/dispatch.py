@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
+from ..observe.log import log_event
 from ..observe.metrics import counter_inc
 from ..observe.tracer import current_tracer
 from .base import Approach, Workload
@@ -106,6 +107,15 @@ def rank_approaches(
                         m=work.m, n=work.n, batch=work.batch,
                         winner=ranked[0].name,
                     )
+                log_event(
+                    "dispatch.rank",
+                    kind=work.kind,
+                    m=work.m,
+                    n=work.n,
+                    batch=work.batch,
+                    winner=ranked[0].name,
+                    outcome="cache-hit",
+                )
                 return ranked
     ranked = [
         Ranking(approach=a, gflops=a.gflops(work))
@@ -138,6 +148,16 @@ def rank_approaches(
             )
     if cache is not None:
         cache.store(work, [(r.name, r.gflops) for r in ranked])
+    log_event(
+        "dispatch.rank",
+        kind=work.kind,
+        m=work.m,
+        n=work.n,
+        batch=work.batch,
+        winner=ranked[0].name,
+        gflops=ranked[0].gflops,
+        outcome="computed",
+    )
     return ranked
 
 

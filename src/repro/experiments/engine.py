@@ -45,6 +45,7 @@ from typing import Callable, List, Optional
 
 from ..observe.export import atomic_write_text
 from ..observe.history import RunHistory
+from ..observe.log import log_event
 from .gate import MATRIX_SCHEMA
 from .runner import CellRecord, SweepContext, run_cell
 from .spec import Cell, ExperimentSpec, expand_cells, plan_fingerprint
@@ -282,6 +283,14 @@ def run_spec(
             },
         )
         executed += 1
+        log_event(
+            "experiment.cell",
+            level="warning" if record.status == "failed" else "info",
+            experiment=spec.name,
+            cell=cell.id,
+            status=record.status,
+            wall_s=record.wall_s,
+        )
         status = record.status if record.status != "ok" else f"{record.wall_s:.3f}s"
         say(f"[{i + 1}/{len(cells)}] {cell.id}: {status}")
         if kill_after and executed >= kill_after:
@@ -327,6 +336,16 @@ def run_spec(
         history_store.append(
             _history_record(spec, fingerprint, records, wall_s, workers)
         )
+    log_event(
+        "experiment.sweep",
+        experiment=spec.name,
+        fingerprint=fingerprint,
+        cells=len(cells),
+        executed=executed,
+        resumed=len(cells) - executed,
+        failed=sum(1 for r in records if r.status == "failed"),
+        wall_s=wall_s,
+    )
 
     return SweepResult(
         spec=spec,

@@ -9,9 +9,12 @@ against the simulated device, then packed into
 
 from __future__ import annotations
 
+import time
+
 from ..gpu.device import DeviceSpec, QUADRO_6000
 from ..gpu.instructions import costs_for
 from ..model.parameters import ModelParameters
+from ..observe.log import log_event
 from ..observe.metrics import counter_inc
 from ..observe.tracer import current_tracer, span
 from .global_bandwidth import measure_global_bandwidth
@@ -58,6 +61,7 @@ def calibrate(device: DeviceSpec = QUADRO_6000, cache=None) -> ModelParameters:
                 tracer.instant(
                     "calibrate.cache_hit", "microbench", device=device.name
                 )
+            log_event("calibrate.cache_hit", device=device.name)
             return cached
         params = _calibrate(device)
         cache.store(device, params)
@@ -68,6 +72,7 @@ def calibrate(device: DeviceSpec = QUADRO_6000, cache=None) -> ModelParameters:
 def _calibrate(device: DeviceSpec) -> ModelParameters:
     """The uncached Section-II sweep."""
     counter_inc("repro_calibrations_total", device=device.name)
+    sweep_start = time.perf_counter()
     with span("calibrate", "microbench", device=device.name):
         with span("calibrate.shared_bandwidth", "microbench"):
             shared_bw = measure_shared_bandwidth(device)
@@ -101,4 +106,9 @@ def _calibrate(device: DeviceSpec) -> ModelParameters:
                 alpha_sync=params.alpha_sync,
                 gamma=params.gamma,
             )
+    log_event(
+        "calibrate.sweep",
+        device=device.name,
+        wall_s=time.perf_counter() - sweep_start,
+    )
     return params

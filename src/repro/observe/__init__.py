@@ -36,6 +36,13 @@ On top of the per-launch layers sits the fleet telemetry added in PR 3:
   latency decomposition, critical path, straggler index, and flamegraph
   land on :attr:`BatchReport.profile <repro.runtime.merge.BatchReport>`
   and replay from a trace file via ``python -m repro.observe.timeline``.
+* **SLOs, alerts, and structured logs** (:mod:`repro.observe.alerts`,
+  :mod:`repro.observe.log`) -- declarative threshold / delta /
+  burn-rate rules over the registry and history, compiled into a
+  fingerprinted :class:`AlertPlan` and exit-coded by
+  ``python -m repro.observe.alerts``; plus a ``REPRO_LOG``-gated JSONL
+  logger whose records carry the profiler's span ids, so an alert, a
+  log line, and a flamegraph span join on one id.
 
 See ``docs/observability.md`` for a walkthrough.
 """
@@ -126,6 +133,32 @@ __all__ = [
     "profiling_enabled",
     "set_profiling_enabled",
     "write_flamegraph",
+    # lazily loaded: structured logging + SLO/alert engine
+    "LOG_SCHEMA",
+    "StructuredLogger",
+    "current_span",
+    "default_log_path",
+    "default_logger",
+    "log_enabled",
+    "log_event",
+    "read_log",
+    "set_default_logger",
+    "set_log_enabled",
+    "span_context",
+    "ALERTS_SCHEMA",
+    "AlertEvent",
+    "AlertPlan",
+    "AlertRule",
+    "AlertSpecError",
+    "Evaluation",
+    "RuleResult",
+    "alert_spec_from_dict",
+    "compile_plan",
+    "default_state_path",
+    "evaluate",
+    "load_alert_spec",
+    "load_alert_state",
+    "write_alert_state",
 ]
 
 #: Attribution pulls in the model layer and exporters pull in json/numpy;
@@ -184,6 +217,31 @@ _LAZY = {
     "profiling_enabled": "profile",
     "set_profiling_enabled": "profile",
     "write_flamegraph": "export",
+    "LOG_SCHEMA": "log",
+    "StructuredLogger": "log",
+    "current_span": "log",
+    "default_log_path": "log",
+    "default_logger": "log",
+    "log_enabled": "log",
+    "log_event": "log",
+    "read_log": "log",
+    "set_default_logger": "log",
+    "set_log_enabled": "log",
+    "span_context": "log",
+    "ALERTS_SCHEMA": "alerts",
+    "AlertEvent": "alerts",
+    "AlertPlan": "alerts",
+    "AlertRule": "alerts",
+    "AlertSpecError": "alerts",
+    "Evaluation": "alerts",
+    "RuleResult": "alerts",
+    "alert_spec_from_dict": "alerts",
+    "compile_plan": "alerts",
+    "default_state_path": "alerts",
+    "evaluate": "alerts",
+    "load_alert_spec": "alerts",
+    "load_alert_state": "alerts",
+    "write_alert_state": "alerts",
 }
 
 

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 __all__ = [
+    "DEFAULT_MAX_BYTES",
     "HISTORY_SCHEMA",
     "DriftFlag",
     "RunHistory",
@@ -44,6 +45,11 @@ __all__ = [
 
 #: Bump when the record layout changes; mismatched lines are skipped.
 HISTORY_SCHEMA = 1
+
+#: Size cap that triggers automatic compaction after an append.  16 MiB
+#: of ~1 KiB records is years of launches; the cap exists so a pinned
+#: cache directory on a long-lived host cannot grow without bound.
+DEFAULT_MAX_BYTES = 16 << 20
 
 #: Substrings marking a gauge as lower-is-better; everything else is
 #: higher-is-better (throughput-like).  Mirrors the CI gate's
@@ -78,10 +84,25 @@ def default_history_path() -> Path:
 
 
 class RunHistory:
-    """Append-only JSONL store of per-launch telemetry records."""
+    """Append-only JSONL store of per-launch telemetry records.
 
-    def __init__(self, path: Optional[Path | str] = None) -> None:
+    ``max_records`` is the retention target compaction trims to;
+    ``max_bytes`` is the size cap that *triggers* an automatic
+    :meth:`compact` after an append (checked with one ``fstat`` on the
+    already-open descriptor, so the common append stays one write + one
+    fsync).  With ``max_records`` unset, rotation keeps the newest half
+    of the valid records.  ``max_bytes=None`` disables rotation.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Path | str] = None,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    ) -> None:
         self.path = Path(path) if path else default_history_path()
+        self.max_records = max_records
+        self.max_bytes = max_bytes
 
     def append(self, record: dict) -> Path:
         """Stamp and append ``record`` as one JSONL line; returns the path.
@@ -102,9 +123,62 @@ class RunHistory:
         try:
             os.write(fd, line.encode("utf-8"))
             os.fsync(fd)
+            size = os.fstat(fd).st_size
         finally:
             os.close(fd)
+        if self.max_bytes is not None and size > self.max_bytes:
+            keep = self.max_records
+            if keep is None:
+                keep = max(1, len(self.load()) // 2)
+            self.compact(keep)
         return self.path
+
+    def compact(self, max_records: Optional[int] = None) -> int:
+        """Rewrite the store keeping the newest ``max_records`` lines.
+
+        Valid lines are kept *verbatim* (schema stamp and all), so a
+        compacted store loads identically to one that was never larger;
+        torn/corrupt/foreign lines are dropped along the way.  The
+        rewrite is atomic (tmp file + fsync + ``os.replace``) and counted
+        in ``repro_history_compactions_total``.  Returns the number of
+        lines dropped; the store is untouched when nothing would be.
+
+        Rotation is a single-writer affair: a line appended by a
+        concurrent process between the read and the replace would be
+        lost, the standard logrotate caveat.
+        """
+        if max_records is None:
+            max_records = self.max_records
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return 0
+        lines = [line for line in text.splitlines() if line.strip()]
+        kept = []
+        for line in lines:
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict) and doc.get("schema") == HISTORY_SCHEMA:
+                kept.append(line)
+        if max_records is not None:
+            if max_records < 0:
+                raise ValueError("max_records must be non-negative")
+            kept = kept[max(0, len(kept) - max_records) :] if max_records else []
+        dropped = len(lines) - len(kept)
+        if dropped <= 0:
+            return 0
+        from . import metrics as _metrics
+        from .export import atomic_write_text
+
+        body = "\n".join(kept) + "\n" if kept else ""
+        atomic_write_text(self.path, body)
+        _metrics.counter_inc(
+            "repro_history_compactions_total",
+            help="Run-history rewrites that dropped old/corrupt lines.",
+        )
+        return dropped
 
     def load(self, limit: Optional[int] = None) -> List[dict]:
         """All valid records, oldest first (last ``limit`` when given).

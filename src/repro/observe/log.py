@@ -1,0 +1,267 @@
+"""Zero-dependency structured logging with trace-span correlation.
+
+Every record is one JSONL line with a stable schema::
+
+    {"schema": 1, "ts": ..., "pid": ..., "level": "info",
+     "event": "runtime.launch", "span_id": "batch:0", "parent_id": null,
+     "fields": {"chunks": 4, "mode": "process", ...}}
+
+Logging is **off by default** and gated the same way as the metrics and
+trace layers: instrumented call-sites go through :func:`log_event`, which
+costs a single flag check when disabled.  The ``REPRO_LOG`` environment
+variable turns it on -- ``1``/``true``/``on`` write to
+``<cache dir>/events.jsonl``, any other non-empty value is taken as the
+sink path.  Worker processes inherit the environment, so a sharded
+launch's workers append to the same sink; lines are single ``os.write``
+calls on an ``O_APPEND`` descriptor, so concurrent writers interleave
+whole records and a killed process never leaves a torn line (the same
+contract as :class:`~repro.observe.history.RunHistory`).
+
+The correlation story: the PR 6 profiler stamps every batch launch with
+deterministic span ids (``batch:N``, ``batch:N/chunk:i``, ...).  The
+runtime pushes the active scope onto a thread-local **span-context
+stack** (:func:`span_context`), and every record logged underneath
+defaults its ``span_id``/``parent_id`` from the stack top -- so an alert,
+a log line, and a flamegraph span all join on the same id.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Tuple
+
+from contextlib import contextmanager
+
+__all__ = [
+    "LOG_SCHEMA",
+    "LEVELS",
+    "StructuredLogger",
+    "current_span",
+    "default_log_path",
+    "default_logger",
+    "log_enabled",
+    "log_event",
+    "read_log",
+    "set_default_logger",
+    "set_log_enabled",
+    "span_context",
+]
+
+#: Bump when the record layout changes; readers skip mismatched lines.
+LOG_SCHEMA = 1
+
+#: Severity ladder, least to most urgent.
+LEVELS = ("debug", "info", "warning", "error")
+
+_FALSEY = {"", "0", "false", "no", "off"}
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def default_log_path() -> Path:
+    """``events.jsonl`` under the persistent cache root."""
+    from ..runtime.cache import cache_dir
+
+    return cache_dir() / "events.jsonl"
+
+
+def _env_sink() -> Optional[Path]:
+    """The sink ``REPRO_LOG`` asks for, or ``None`` when disabled."""
+    raw = os.environ.get("REPRO_LOG", "").strip()
+    if raw.lower() in _FALSEY:
+        return None
+    if raw.lower() in _TRUTHY:
+        return default_log_path()
+    return Path(raw)
+
+
+def _jsonable(value: Any) -> Any:
+    """Clamp a field value to something ``json.dumps`` accepts."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class StructuredLogger:
+    """Append-only JSONL sink of schema-stamped structured records."""
+
+    def __init__(self, path: Optional[Path | str] = None) -> None:
+        self.path = Path(path) if path else default_log_path()
+        self._lock = threading.Lock()
+
+    def log(
+        self,
+        event: str,
+        level: str = "info",
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        **fields: Any,
+    ) -> None:
+        """Append one record; span ids default from :func:`span_context`.
+
+        Sink failures (read-only disk, deleted directory) are swallowed:
+        logging is telemetry and must never fail the instrumented path.
+        """
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; one of {LEVELS}")
+        if span_id is None:
+            span_id, ctx_parent = current_span()
+            if parent_id is None:
+                parent_id = ctx_parent
+        record = {
+            "schema": LOG_SCHEMA,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "level": level,
+            "event": str(event),
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "fields": _jsonable(fields),
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._lock:
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+                try:
+                    os.write(fd, line.encode("utf-8"))
+                finally:
+                    os.close(fd)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StructuredLogger({self.path})"
+
+
+def read_log(path: Path | str) -> List[dict]:
+    """All valid records at ``path``, oldest first.
+
+    Torn, corrupt, or schema-mismatched lines are skipped, mirroring
+    :meth:`RunHistory.load`: a sink shared by concurrent writers must
+    read back cleanly even after a mid-line kill.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return []
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(doc, dict) or doc.get("schema") != LOG_SCHEMA:
+            continue
+        records.append(doc)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Thread-local span-context stack
+# ----------------------------------------------------------------------
+_tls = threading.local()
+
+
+def current_span() -> Tuple[Optional[str], Optional[str]]:
+    """``(span_id, parent_id)`` of the innermost active context."""
+    stack = getattr(_tls, "spans", None)
+    if not stack:
+        return None, None
+    return stack[-1]
+
+
+@contextmanager
+def span_context(
+    span_id: str, parent_id: Optional[str] = None
+) -> Iterator[None]:
+    """Stamp records logged in the body with ``span_id``.
+
+    Contexts nest: an inner context's ``parent_id`` defaults to the
+    enclosing context's span, mirroring the profiler's span tree.
+    """
+    stack = getattr(_tls, "spans", None)
+    if stack is None:
+        stack = _tls.spans = []
+    if parent_id is None and stack:
+        parent_id = stack[-1][0]
+    stack.append((span_id, parent_id))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+# ----------------------------------------------------------------------
+# Process-wide gate + default sink (REPRO_LOG)
+# ----------------------------------------------------------------------
+_enabled: bool = _env_sink() is not None
+_default: Optional[StructuredLogger] = None
+
+
+def log_enabled() -> bool:
+    """Whether :func:`log_event` records anything right now."""
+    return _enabled
+
+
+def set_log_enabled(flag: bool) -> bool:
+    """Flip the gate (overriding ``REPRO_LOG``); returns the previous."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def default_logger() -> StructuredLogger:
+    """The process-wide sink, created on first use from ``REPRO_LOG``."""
+    global _default
+    if _default is None:
+        _default = StructuredLogger(_env_sink() or default_log_path())
+    return _default
+
+
+def set_default_logger(
+    logger: Optional[StructuredLogger],
+) -> Optional[StructuredLogger]:
+    """Swap the process-wide sink; returns the previous one."""
+    global _default
+    previous = _default
+    _default = logger
+    return previous
+
+
+def log_event(
+    event: str,
+    level: str = "info",
+    span_id: Optional[str] = None,
+    parent_id: Optional[str] = None,
+    **fields: Any,
+) -> None:
+    """Record ``event`` on the default sink; a no-op when disabled.
+
+    This is the call instrumented paths use: disabled, it costs one
+    module-global check (the same contract as
+    :func:`~repro.observe.metrics.counter_inc`).
+    """
+    if not _enabled:
+        return
+    default_logger().log(
+        event, level=level, span_id=span_id, parent_id=parent_id, **fields
+    )

@@ -310,6 +310,27 @@ class MetricsRegistry:
         want = set(_label_key(match))
         return sum(v for key, v in fam.series.items() if want <= set(key))
 
+    def merged_histogram(self, name: str, **match) -> Optional[HistogramValue]:
+        """Every histogram series whose labels contain ``match``, merged.
+
+        Buckets are fixed per family, so the merge is exact -- the result
+        is the histogram that would have been recorded had all matching
+        series shared one label set.  Returns ``None`` when the family is
+        absent, not a histogram, or nothing matches.
+        """
+        fam = self._families.get(name)
+        if fam is None or fam.kind != "histogram":
+            return None
+        want = set(_label_key(match))
+        merged: Optional[HistogramValue] = None
+        for key, hist in fam.series.items():
+            if not want <= set(key):
+                continue
+            if merged is None:
+                merged = HistogramValue.empty(hist.buckets)
+            merged.merge(hist)
+        return merged
+
     def label_values(self, name: str, label: str) -> list:
         """Sorted distinct values of ``label`` across ``name``'s series."""
         fam = self._families.get(name)

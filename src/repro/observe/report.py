@@ -11,6 +11,8 @@ instrumented runtime leaves behind (``history.jsonl`` plus the
 * the latest critical-path profile a traced run recorded -- phase
   decomposition, straggler index, and queue share;
 * cache hit rates for the calibration and dispatch caches;
+* the latest SLO evaluation ``python -m repro.observe.alerts check``
+  persisted (rule states, severities, and observed values);
 * drift flags: gauges in the latest run that moved beyond a
   direction-aware tolerance from their rolling-window median.
 
@@ -123,14 +125,40 @@ def _cache_rows(registry: Optional[MetricsRegistry]) -> List[list]:
     return rows
 
 
+def _alert_rows(state: dict) -> List[list]:
+    rows = []
+    for result in state.get("results", []):
+        if not isinstance(result, dict):
+            continue
+        value = result.get("value")
+        state_word = result.get("state", "?")
+        rows.append(
+            [
+                result.get("rule", "?"),
+                result.get("severity", "?"),
+                state_word.upper() if state_word == "firing" else state_word,
+                "-" if value is None else f"{value:.4g}",
+                result.get("span_id") or "-",
+            ]
+        )
+    return rows
+
+
 def render_report(
     history: RunHistory,
     registry: Optional[MetricsRegistry],
     runs: int = 10,
     window: int = 8,
     tolerance: float = 0.10,
+    alerts: Optional[dict] = None,
 ):
-    """The dashboard text plus the drift flags it rendered."""
+    """The dashboard text plus the drift flags it rendered.
+
+    ``alerts`` is the persisted state doc of the most recent
+    ``python -m repro.observe.alerts check`` (see
+    :func:`~repro.observe.alerts.load_alert_state`); when given, its
+    rule states render as an "Alerts" section.
+    """
     records = history.load()
     sections = []
     if not records:
@@ -174,6 +202,21 @@ def render_report(
                         "Latest profile (straggler index "
                         f"{straggler:.2f}, queue share {queue_share:.0%})"
                     ),
+                )
+            )
+
+    if alerts is not None:
+        alert_rows = _alert_rows(alerts)
+        if alert_rows:
+            firing = sum(1 for row in alert_rows if row[2] == "FIRING")
+            slo = alerts.get("slo", "?")
+            title = f"Alerts (slo {slo}, "
+            title += f"{firing} firing)" if firing else "all quiet)"
+            sections.append(
+                format_table(
+                    ["rule", "severity", "state", "value", "span"],
+                    alert_rows,
+                    title=title,
                 )
             )
 
@@ -239,11 +282,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="drift tolerance as a fraction (default 0.10)",
     )
     parser.add_argument(
+        "--alerts",
+        type=Path,
+        default=None,
+        help="persisted alert state (default: <cache dir>/alerts.json)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="exit 1 when any gauge drifted beyond tolerance",
     )
     args = parser.parse_args(argv)
+
+    from .alerts import default_state_path, load_alert_state
 
     history = RunHistory(args.history or default_history_path())
     metrics_path = args.metrics or default_snapshot_path()
@@ -251,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if registry is None and args.metrics is None:
         # Fall back to the Prometheus exposition next to the JSON snapshot.
         registry = load_metrics_snapshot(metrics_path.with_suffix(".prom"))
+    alerts = load_alert_state(args.alerts or default_state_path())
 
     text, flags = render_report(
         history,
@@ -258,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         runs=args.runs,
         window=args.window,
         tolerance=args.tolerance,
+        alerts=alerts,
     )
     print(text, end="")
     if args.strict and flags:

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observe import log as _log
 from .policy import RetryPolicy
 
 __all__ = [
@@ -66,7 +67,13 @@ class ChunkFailedError(RuntimeError):
 
 @dataclasses.dataclass
 class SuperviseStats:
-    """Recovery events of one launch, for telemetry folding."""
+    """Recovery events of one launch, for telemetry folding.
+
+    ``scope`` is the launch's profile scope (``batch:N``) when the run
+    is profiled; every noted event is then also written to the
+    structured log (when enabled) stamped with the chunk's span id, so a
+    retry in the log joins its ``attempt:k`` span in the flamegraph.
+    """
 
     #: ``(kind, args)`` in occurrence order; kinds: ``retry`` /
     #: ``timeout`` / ``inline`` / ``rebuild``.
@@ -74,6 +81,7 @@ class SuperviseStats:
     timeouts: int = 0
     inline_runs: int = 0
     rebuilds: int = 0
+    scope: Optional[str] = None
 
     def note(self, kind: str, **args) -> None:
         self.events.append((kind, args))
@@ -83,6 +91,20 @@ class SuperviseStats:
             self.inline_runs += 1
         elif kind == "rebuild":
             self.rebuilds += 1
+        if _log.log_enabled():
+            chunk = args.get("chunk")
+            span_id = (
+                f"{self.scope}/chunk:{chunk}"
+                if self.scope is not None and chunk is not None
+                else self.scope
+            )
+            _log.log_event(
+                f"resilience.{kind}",
+                level="warning",
+                span_id=span_id,
+                parent_id=self.scope,
+                **args,
+            )
 
     @property
     def retries(self) -> int:
@@ -194,7 +216,7 @@ def supervise_serial(
     zero-width), keeping serial and sharded trees comparable.
     """
     outcomes: Dict[int, object] = {}
-    stats = SuperviseStats()
+    stats = SuperviseStats(scope=profile.scope if profile is not None else None)
     spans = ChunkSpans(profile)
     for index, payload in entries:
         op = payload[0]
@@ -255,7 +277,7 @@ def supervise_pool(
     chunk completion lands in the batch span tree.
     """
     outcomes: Dict[int, object] = {}
-    stats = SuperviseStats()
+    stats = SuperviseStats(scope=profile.scope if profile is not None else None)
     if not entries:
         return outcomes, stats
     spans = ChunkSpans(profile)

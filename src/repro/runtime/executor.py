@@ -44,6 +44,7 @@ import numpy as np
 
 from ..gpu.device import QUADRO_6000, DeviceSpec
 from ..model.parameters import ModelParameters
+from ..observe import log as _log
 from ..observe import metrics as _metrics
 from ..observe import profile as _profile
 from ..observe.history import RunHistory, run_record
@@ -169,6 +170,21 @@ def _execute_chunk(
         if local_metrics is not None:
             _metrics.set_default_registry(previous_metrics)
     digest = outcome_checksum(result.output, result.extra) if checksum else None
+    wall_s = time.perf_counter() - start
+    if _log.log_enabled():
+        # One record per attempt, stamped with the same span ids the
+        # profile spans carry, so a log line joins its flamegraph span.
+        chunk_id = f"{scope}/chunk:{chunk_index}" if scope else None
+        _log.log_event(
+            "worker.attempt",
+            span_id=f"{chunk_id}/attempt:{attempt}" if chunk_id else None,
+            parent_id=chunk_id,
+            op=op,
+            chunk=chunk_index,
+            attempt=attempt,
+            wall_s=wall_s,
+            dropped=dropped,
+        )
     output = result.output
     if faults is not None:
         # Corruption is injected *after* the checksum, simulating a
@@ -178,7 +194,7 @@ def _execute_chunk(
         output=output,
         extra=result.extra,
         launch=result.launch,
-        wall_s=time.perf_counter() - start,
+        wall_s=wall_s,
         events=events,
         registry=registry,
         pid=os.getpid(),
@@ -442,6 +458,18 @@ class BatchRuntime:
                 chunks=len(chunks),
                 problems=batch.total_problems,
             )
+        log_scope = emitter.scope if emitter is not None else None
+        if _log.log_enabled():
+            _log.log_event(
+                "runtime.plan",
+                span_id=(
+                    emitter.span_id("plan") if emitter is not None else None
+                ),
+                parent_id=log_scope,
+                chunks=len(chunks),
+                problems=batch.total_problems,
+                workers=self.workers,
+            )
 
         resumed: dict[int, ChunkOutcome] = {}
         record = None
@@ -455,6 +483,15 @@ class BatchRuntime:
 
             def record(index: int, outcome: ChunkOutcome) -> None:
                 self.checkpoint.record(fingerprint, index, outcome)
+                _log.log_event(
+                    "checkpoint.record",
+                    level="debug",
+                    span_id=(
+                        f"{log_scope}/chunk:{index}" if log_scope else None
+                    ),
+                    parent_id=log_scope,
+                    chunk=index,
+                )
 
         entries = [
             (index, payloads[index])
@@ -535,6 +572,33 @@ class BatchRuntime:
             # The merge below is pure; once every outcome is in hand the
             # journal has served its purpose.
             self.checkpoint.clear()
+
+        if _log.log_enabled():
+            if resumed:
+                _log.log_event(
+                    "resilience.resume",
+                    span_id=log_scope,
+                    skipped=len(resumed),
+                    chunks=len(chunks),
+                )
+            if failures:
+                _log.log_event(
+                    "runtime.quarantine",
+                    level="warning",
+                    span_id=log_scope,
+                    problems=len(failures),
+                    ops=sorted({f.op for f in failures}),
+                )
+            _log.log_event(
+                "runtime.launch",
+                span_id=log_scope,
+                mode=mode,
+                chunks=len(chunks),
+                workers=self.workers,
+                problems=batch.total_problems,
+                failures=len(failures),
+                wall_s=wall_s,
+            )
 
         if traced:
             for chunk, outcome in zip(chunks, outcomes):
@@ -857,6 +921,14 @@ class BatchRuntime:
                             for a in attributions
                         ],
                         device=self.device.name,
+                        # The profiler scope joins this record to its
+                        # trace tree, log lines, and any alert raised
+                        # over it -- one id across all three.
+                        span_id=(
+                            report.profile.scope
+                            if report.profile is not None
+                            else None
+                        ),
                         profile=(
                             report.profile.summary()
                             if report.profile is not None

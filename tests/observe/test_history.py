@@ -266,3 +266,102 @@ class TestProfileDriftPolicy:
             )
         )
         assert [f for f in flags if f.gauge.startswith("profile.")] == []
+
+
+class TestCompaction:
+    def _filled(self, tmp_path, n=10):
+        history = RunHistory(tmp_path / "history.jsonl")
+        for i in range(n):
+            history.append({"run": i})
+        return history
+
+    def test_compact_keeps_newest(self, tmp_path):
+        history = self._filled(tmp_path)
+        dropped = history.compact(max_records=3)
+        assert dropped == 7
+        assert [r["run"] for r in history.load()] == [7, 8, 9]
+
+    def test_compacted_store_loads_identically(self, tmp_path):
+        # Kept lines are verbatim: schema stamp, ts, every field.
+        history = self._filled(tmp_path)
+        before = history.load()[-3:]
+        history.compact(max_records=3)
+        assert history.load() == before
+
+    def test_compact_drops_corrupt_lines(self, tmp_path):
+        history = self._filled(tmp_path, n=2)
+        with history.path.open("a") as fh:
+            fh.write("{ torn lin\n")
+            fh.write(json.dumps({"schema": HISTORY_SCHEMA + 1}) + "\n")
+        assert history.compact(max_records=10) == 2
+        assert [r["run"] for r in history.load()] == [0, 1]
+
+    def test_noop_when_nothing_to_drop(self, tmp_path):
+        history = self._filled(tmp_path, n=3)
+        stat = history.path.stat()
+        assert history.compact(max_records=5) == 0
+        # No rewrite happened: same inode contents, untouched mtime.
+        assert history.path.stat().st_mtime_ns == stat.st_mtime_ns
+        assert [r["run"] for r in history.load()] == [0, 1, 2]
+
+    def test_compact_missing_file_is_zero(self, tmp_path):
+        assert RunHistory(tmp_path / "absent.jsonl").compact(5) == 0
+
+    def test_compact_to_zero_empties(self, tmp_path):
+        history = self._filled(tmp_path, n=3)
+        assert history.compact(max_records=0) == 3
+        assert history.load() == []
+        history.append({"run": "fresh"})  # store still usable
+        assert len(history) == 1
+
+    def test_negative_max_records_raises(self, tmp_path):
+        history = self._filled(tmp_path, n=1)
+        with pytest.raises(ValueError):
+            history.compact(max_records=-1)
+
+    def test_size_cap_rotates_on_append(self, tmp_path):
+        history = RunHistory(
+            tmp_path / "history.jsonl", max_records=4, max_bytes=512
+        )
+        for i in range(50):
+            history.append({"run": i, "pad": "x" * 40})
+        records = history.load()
+        assert len(records) <= 4
+        assert records[-1]["run"] == 49
+
+    def test_size_cap_without_max_records_keeps_newest_half(self, tmp_path):
+        history = RunHistory(tmp_path / "history.jsonl", max_bytes=2048)
+        for i in range(60):
+            history.append({"run": i, "pad": "x" * 40})
+        records = history.load()
+        assert 0 < len(records) < 60
+        assert records[-1]["run"] == 59
+        runs = [r["run"] for r in records]
+        assert runs == sorted(runs)  # oldest dropped, order preserved
+
+    def test_rotation_disabled_with_none(self, tmp_path):
+        history = RunHistory(tmp_path / "history.jsonl", max_bytes=None)
+        for i in range(30):
+            history.append({"run": i, "pad": "x" * 40})
+        assert len(history) == 30
+
+    def test_compaction_counts_in_metrics(self, tmp_path):
+        from repro.observe.metrics import (
+            MetricsRegistry,
+            set_default_registry,
+            set_metrics_enabled,
+        )
+
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        previous_flag = set_metrics_enabled(True)
+        try:
+            history = self._filled(tmp_path, n=5)
+            history.compact(max_records=2)
+            history.compact(max_records=2)  # no-op: not counted
+            assert (
+                registry.sum_series("repro_history_compactions_total") == 1
+            )
+        finally:
+            set_default_registry(previous)
+            set_metrics_enabled(previous_flag)

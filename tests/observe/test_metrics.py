@@ -355,3 +355,107 @@ class TestHistogramQuantile:
             for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
         ]
         assert values == sorted(values)
+
+
+class TestQuantileEdgeCases:
+    """Degenerate histograms: empty, overflow-only, and the q bounds."""
+
+    def test_empty_histogram_value_is_none_for_any_q(self):
+        from repro.observe.metrics import HistogramValue
+
+        hist = HistogramValue.empty(DEFAULT_BUCKETS)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) is None
+
+    def test_all_mass_in_overflow_clamps_every_q(self):
+        # With every observation past the last finite bound there is
+        # nothing to interpolate toward: any quantile reports the
+        # highest finite bound, including both extremes.
+        registry = MetricsRegistry()
+        for _ in range(5):
+            registry.observe("h", DEFAULT_BUCKETS[-1] * 10)
+        for q in (0.0, 0.25, 1.0):
+            assert registry.histogram_quantile("h", q) == DEFAULT_BUCKETS[-1]
+
+    def test_q0_is_bucket_lower_bound(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.03)  # lone observation in (0.025, 0.05]
+        assert registry.histogram_quantile("h", 0.0) == pytest.approx(0.025)
+
+    def test_q1_is_bucket_upper_bound(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.03)
+        assert registry.histogram_quantile("h", 1.0) == pytest.approx(0.05)
+
+    def test_single_observation_median(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.03)
+        # rank = 0.5 of one observation interpolates mid-bucket.
+        assert registry.histogram_quantile("h", 0.5) == pytest.approx(0.0375)
+
+
+class TestLabelEscaping:
+    """Exposition-format label escaping survives a write/parse cycle."""
+
+    def test_known_escapes(self):
+        from repro.observe.metrics import _escape_label, _unescape_label
+
+        assert _escape_label('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        assert _unescape_label('a\\\\b\\"c\\nd') == 'a\\b"c\nd'
+
+    def test_escape_round_trips_hostile_values(self):
+        from hypothesis import given
+        from hypothesis import strategies as st
+
+        from repro.observe.metrics import _escape_label, _unescape_label
+
+        hostile = st.text(
+            alphabet=st.sampled_from(list('\\"\n') + list("abc123 _-")),
+            max_size=40,
+        )
+
+        @given(hostile)
+        def round_trips(value):
+            assert _unescape_label(_escape_label(value)) == value
+            # The escaped form never contains a raw newline or quote,
+            # so the exposition line stays parseable.
+            escaped = _escape_label(value)
+            assert "\n" not in escaped
+
+        round_trips()
+
+    def test_escaped_labels_survive_exposition_parse(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", 2, op='lu\\qr "quoted"\nline')
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        assert parsed.sum_series("requests", op='lu\\qr "quoted"\nline') == 2
+
+
+class TestMergedHistogram:
+    def test_merges_matching_series_exactly(self):
+        registry = MetricsRegistry()
+        for value in (0.25, 0.75):
+            registry.observe("h", value, buckets=(0.5, 1.0), op="lu")
+        registry.observe("h", 0.25, buckets=(0.5, 1.0), op="qr")
+        merged = registry.merged_histogram("h")
+        assert merged is not None
+        assert merged.count == 3
+        assert merged.total == pytest.approx(1.25)
+        narrowed = registry.merged_histogram("h", op="lu")
+        assert narrowed.count == 2
+
+    def test_absent_or_wrong_kind_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.merged_histogram("h") is None
+        registry.inc("requests", 1, op="lu")
+        assert registry.merged_histogram("requests") is None
+        registry.observe("h", 0.1, op="lu")
+        assert registry.merged_histogram("h", op="qr") is None
+
+    def test_merge_does_not_mutate_sources(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.25, buckets=(0.5, 1.0), op="lu")
+        registry.observe("h", 0.75, buckets=(0.5, 1.0), op="qr")
+        before = registry.histogram_value("h", op="lu").count
+        registry.merged_histogram("h")
+        assert registry.histogram_value("h", op="lu").count == before
