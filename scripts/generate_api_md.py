@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.observe.alerts",
     "repro.observe.log",
     "repro.analyze",
+    "repro.analyze.costcheck",
     "repro.reporting",
     "repro.experiments",
     "repro.errors",

@@ -1,8 +1,9 @@
 """Correctness tooling for the simulated kernel zoo.
 
-Two independent layers guard the shared-memory protocol the paper's
-per-block kernels depend on (every cross-thread handoff bracketed by a
-``__syncthreads``, Eq. 2's ``nsync * alpha_sync`` term):
+Three independent layers guard the invariants the paper's per-block
+kernels depend on (every cross-thread handoff bracketed by a
+``__syncthreads``, Eq. 2's ``nsync * alpha_sync`` term, and cost
+accounting that matches the predictive model):
 
 * a **dynamic sanitizer** (:mod:`repro.analyze.sanitizer`) -- an opt-in
   access recorder inside :class:`~repro.gpu.shared_memory.SharedMemory`
@@ -14,16 +15,32 @@ per-block kernels depend on (every cross-thread handoff bracketed by a
   :func:`sanitizing` context manager;
 
 * a **static lint pass** (:mod:`repro.analyze.lint`, stdlib ``ast``
-  only) -- project-specific rules RPR001..RPR005 covering
+  only) -- project-specific rules RPR001..RPR006 covering
   batch-invariance, kernel sync protocol, nondeterminism sources,
-  unaccounted shared allocations, and float equality.
+  unaccounted shared allocations, float equality, and stale noqa
+  suppressions;
 
-Both layers share one CLI: ``python -m repro.analyze {lint,sanitize}``
-(see :mod:`repro.analyze.cli`); ``docs/analyze.md`` documents the rules
-and the CI gate.
+* a **static cost certifier** (:mod:`repro.analyze.costcheck`) -- an
+  abstract interpreter that derives each kernel's closed-form resource
+  footprint (flops, DRAM bytes, shared traffic, registers, syncs) from
+  witness executions and holds it equal to the analytic model, the
+  occupancy calculator, and live traced counters.
+
+All layers share one CLI: ``python -m repro.analyze
+{lint,sanitize,costcheck}`` (see :mod:`repro.analyze.cli`);
+``docs/analyze.md`` documents the rules, the certifier, and the CI
+gates.
 """
 
-from .lint import Finding, Rule, RULES, lint_file, lint_paths, lint_source
+from .lint import (
+    Finding,
+    Rule,
+    RULES,
+    UnknownRuleError,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 from .sanitizer import (
     Hazard,
     SanitizeReport,
@@ -39,10 +56,12 @@ __all__ = [
     "Rule",
     "SanitizeReport",
     "SharedSanitizer",
+    "UnknownRuleError",
     "lint_file",
     "lint_paths",
     "lint_source",
     "main",
+    "run_costcheck",
     "run_sweep",
     "sanitize_enabled",
     "sanitizing",
@@ -51,13 +70,18 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # The sweep registry and CLI import the full kernel stack; loading
-    # them eagerly here would cycle through gpu.simt (which imports the
-    # sanitizer).  PEP 562 keeps them one attribute access away.
+    # The sweep registry, cost certifier, and CLI import the full kernel
+    # stack; loading them eagerly here would cycle through gpu.simt
+    # (which imports the sanitizer).  PEP 562 keeps them one attribute
+    # access away.
     if name in ("run_sweep", "sweep_cases"):
         from . import registry
 
         return getattr(registry, name)
+    if name == "run_costcheck":
+        from .costcheck import run_costcheck
+
+        return run_costcheck
     if name == "main":
         from .cli import main
 

@@ -1,0 +1,110 @@
+"""Static cost footprints: the certifier's abstract domain.
+
+A :class:`Footprint` is the closed-form resource profile of one kernel
+at one problem shape -- every term is a function of ``(op, m, n)`` alone,
+never of the batch size or the matrix values.  The abstract interpreter
+(:mod:`repro.analyze.costcheck.interp`) derives footprints by running
+kernels over witness inputs; the analytic model
+(:func:`repro.model.per_block_model.per_block_counts`) derives the same
+terms in closed form; :mod:`repro.analyze.costcheck.checks` holds the
+two equal and diffs footprints against checked-in baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["COUNT_TERMS", "Footprint", "diff_terms"]
+
+#: Terms compared between interpreter, analytic model, and baselines.
+#: Every one must be batch- and data-independent for the kernel family.
+COUNT_TERMS = (
+    "flop_ops",
+    "divs",
+    "sqrts",
+    "shared",
+    "shared_writes",
+    "syncs",
+    "global_bytes",
+    "spill_bytes",
+    "shared_bytes",
+    "registers",
+    "threads",
+    "flops_per_problem",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Footprint:
+    """Per-problem static resource profile of one kernel launch."""
+
+    kernel: str
+    #: Factorization kind (analytic-model key, e.g. ``"lu_pivot"``).
+    op: str
+    #: ``"per_block"`` or ``"per_thread"``.
+    family: str
+    m: int
+    n: int
+    threads: int
+    #: Registers *requested* per thread (before the architectural cap).
+    registers: int
+    #: Dependent FP ops per thread (``charge_flops`` units); zero for
+    #: the per-thread family, whose flop count is ``flops_per_problem``.
+    flop_ops: float = 0.0
+    divs: float = 0.0
+    sqrts: float = 0.0
+    #: Shared words per thread (``charge_shared`` units) and the write
+    #: subset.
+    shared: float = 0.0
+    shared_writes: float = 0.0
+    syncs: float = 0.0
+    #: DRAM bytes per problem (load + store), including spill traffic.
+    global_bytes: float = 0.0
+    #: Spill re-touch bytes folded into ``global_bytes`` (per-thread
+    #: family only) -- deliberately absent from the roofline model.
+    spill_bytes: float = 0.0
+    #: Scratchpad bytes per block.
+    shared_bytes: float = 0.0
+    #: The kernel's claimed algorithmic FLOPs (paper conventions).
+    flops_per_problem: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return f"{self.kernel}[{self.m}x{self.n}]"
+
+    @property
+    def shape(self) -> str:
+        return f"{self.m}x{self.n}"
+
+    def terms(self) -> Dict[str, float]:
+        """The compared terms as a plain name -> value mapping."""
+        return {name: float(getattr(self, name)) for name in COUNT_TERMS}
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Footprint":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+def diff_terms(
+    ours: Mapping[str, float], theirs: Mapping[str, float], tol: float = 1e-9
+) -> Dict[str, Tuple[float, float]]:
+    """Per-term differences: ``{term: (ours, theirs)}`` where they differ.
+
+    Terms present on either side are compared (a missing term reads as
+    0.0 -- absent counters mean no events).  The tolerance only absorbs
+    float round-off from summation order; counts are exact integers or
+    dyadic rationals, so any real change clears it by orders of
+    magnitude.
+    """
+    out: Dict[str, Tuple[float, float]] = {}
+    for term in sorted(set(ours) | set(theirs)):
+        a = float(ours.get(term, 0.0))
+        b = float(theirs.get(term, 0.0))
+        if abs(a - b) > tol * max(1.0, abs(a), abs(b)):
+            out[term] = (a, b)
+    return out

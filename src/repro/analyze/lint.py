@@ -1,6 +1,6 @@
 """Static kernel-protocol linter: project-specific AST rules (stdlib only).
 
-Five rules, each guarding an invariant the rest of the repo documents
+Six rules, each guarding an invariant the rest of the repo documents
 and tests:
 
 ========  ==============================================================
@@ -20,6 +20,13 @@ RPR004    A file that calls ``allocate_shared`` but never
           ``charge_shared``: functional scratchpad traffic with no cost
           accounting, so Eq. 2's beta term silently under-counts.
 RPR005    Float-literal ``==`` / ``!=`` comparisons outside tests.
+RPR006    Unused suppression: an RPR code in a noqa comment whose rule
+          ran on the file but reported nothing on that line.  Stale
+          suppressions hide future regressions silently; delete them
+          (or fix the code the comment claims to excuse).  Only codes
+          of rules that actually ran are audited -- a scope-skipped
+          rule's suppression is left alone -- and third-party codes
+          (ruff's, say) are never touched.
 ========  ==============================================================
 
 Suppression is noqa-style: a trailing ``# noqa: RPR001`` comment (codes
@@ -37,7 +44,19 @@ import re
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Finding", "Rule", "RULES", "lint_file", "lint_paths", "lint_source"]
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "UnknownRuleError",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+
+class UnknownRuleError(ValueError):
+    """A requested rule code does not exist (a spec error, CLI exit 2)."""
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
@@ -331,6 +350,16 @@ def _check_rpr005(tree: ast.Module) -> List[Tuple[int, int, str]]:
     return hits
 
 
+def _check_rpr006(tree: ast.Module) -> List[Tuple[int, int, str]]:
+    """Placeholder: RPR006 audits noqa comments, not the AST.
+
+    Findings are synthesized by :func:`lint_source` after every other
+    selected rule has run, because "unused" is only decidable once we
+    know which suppressions absorbed a real finding.
+    """
+    return []
+
+
 RULES: Dict[str, Rule] = {
     "RPR001": Rule(
         "RPR001",
@@ -362,6 +391,12 @@ RULES: Dict[str, Rule] = {
         scope=None,
         checker=_check_rpr005,
         skip_tests=True,
+    ),
+    "RPR006": Rule(
+        "RPR006",
+        "unused noqa suppression",
+        scope=None,
+        checker=_check_rpr006,
     ),
 }
 
@@ -401,6 +436,20 @@ def _suppressed(
     return False
 
 
+def _mark_used(
+    finding_line: int,
+    end_line: int,
+    code: str,
+    noqa: Dict[int, Optional[frozenset]],
+    used: set,
+) -> None:
+    """Record which explicit (line, code) suppressions absorbed a finding."""
+    for lineno in (finding_line, end_line):
+        codes = noqa.get(lineno, False)
+        if codes is not False and codes is not None and code in codes:
+            used.add((lineno, code))
+
+
 def _is_test_path(posix: str) -> bool:
     name = posix.rsplit("/", 1)[-1]
     return (
@@ -437,20 +486,68 @@ def lint_source(
     posix = "/" + Path(path).as_posix().lstrip("/")
     noqa = _noqa_lines(source)
     findings: List[Finding] = []
-    selected = [RULES[c] for c in rules] if rules is not None else list(RULES.values())
+    if rules is not None:
+        requested = list(rules)
+        unknown = [c for c in requested if c not in RULES]
+        if unknown:
+            raise UnknownRuleError(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"known rules: {', '.join(RULES)}"
+            )
+        selected = [RULES[c] for c in requested]
+    else:
+        selected = list(RULES.values())
+    used: set = set()
+    ran: set = set()
+    audit_unused = False
     for rule in selected:
         if respect_scope:
             if rule.scope is not None and not any(s in posix for s in rule.scope):
                 continue
             if rule.skip_tests and _is_test_path(posix):
                 continue
+        ran.add(rule.code)
+        if rule.code == "RPR006":
+            audit_unused = True
+            continue
         for line, col, message in rule.checker(tree):
             end_line = line
-            if not _suppressed(line, end_line, rule.code, noqa):
+            if _suppressed(line, end_line, rule.code, noqa):
+                _mark_used(line, end_line, rule.code, noqa, used)
+            else:
                 findings.append(
                     Finding(
                         rule=rule.code, path=path, line=line, col=col,
                         message=message,
+                    )
+                )
+    if audit_unused:
+        # Audit only codes whose rule actually ran on this file: a
+        # scope-skipped rule might have fired here, so its suppressions
+        # are not provably stale.  Bare noqa and non-RPR codes are
+        # someone else's business.
+        for lineno in sorted(noqa):
+            codes = noqa[lineno]
+            if codes is None:
+                continue
+            for code in sorted(codes):
+                if not code.startswith("RPR") or code == "RPR006":
+                    continue
+                if code not in ran or (lineno, code) in used:
+                    continue
+                if _suppressed(lineno, lineno, "RPR006", noqa):
+                    continue
+                findings.append(
+                    Finding(
+                        rule="RPR006",
+                        path=path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"unused suppression: {code} ran on this file "
+                            f"but reported nothing on this line; delete "
+                            f"the noqa or fix what it claims to excuse"
+                        ),
                     )
                 )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -36,27 +36,27 @@ class SweepCase:
     run: Callable[[], Optional[object]]  # returns SanitizeReport or None
 
 
-def _problems(n: int, seed: int):
+def _problems(n: int, seed: int, batch: int = _BATCH):
     from ..kernels.batched.problems import diagonally_dominant_batch, rhs_batch
 
-    a = diagonally_dominant_batch(_BATCH, n, seed=seed)
-    b = rhs_batch(_BATCH, n, seed=seed + 1)
+    a = diagonally_dominant_batch(batch, n, seed=seed)
+    b = rhs_batch(batch, n, seed=seed + 1)
     return a, b
 
 
-def _hpd(n: int, seed: int) -> np.ndarray:
+def _hpd(n: int, seed: int, batch: int = _BATCH) -> np.ndarray:
     rng = np.random.default_rng(seed)
-    a = rng.standard_normal((_BATCH, n, n)).astype(np.float32)
+    a = rng.standard_normal((batch, n, n)).astype(np.float32)
     return (a @ a.transpose(0, 2, 1) + n * np.eye(n, dtype=np.float32)).astype(
         np.float32
     )
 
 
-def _tall(m: int, n: int, seed: int):
+def _tall(m: int, n: int, seed: int, batch: int = _BATCH):
     rng = np.random.default_rng(seed)
     return (
-        rng.standard_normal((_BATCH, m, n)).astype(np.float32),
-        rng.standard_normal((_BATCH, m)).astype(np.float32),
+        rng.standard_normal((batch, m, n)).astype(np.float32),
+        rng.standard_normal((batch, m)).astype(np.float32),
     )
 
 

@@ -20,7 +20,9 @@ factorization uses:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -35,9 +37,33 @@ __all__ = [
     "BlockKernel",
     "DeviceKernelResult",
     "batch_dot",
+    "block_engine_factory",
     "breakdown_detector",
     "nonfinite_breakdowns",
 ]
+
+#: Override for the engine class a :class:`BlockKernel` constructs.
+#: ``repro.analyze.costcheck`` swaps in a recording engine here to
+#: interpret kernels abstractly without changing their call sites.
+_ENGINE_FACTORY: ContextVar[Optional[Callable[..., BlockEngine]]] = ContextVar(
+    "repro_block_engine_factory", default=None
+)
+
+
+@contextmanager
+def block_engine_factory(factory: Callable[..., BlockEngine]) -> Iterator[None]:
+    """Scope within which :class:`BlockKernel` builds engines via ``factory``.
+
+    ``factory`` receives exactly the :class:`~repro.gpu.simt.BlockEngine`
+    constructor arguments and must return an engine (typically a
+    subclass).  The override is a contextvar, so concurrent kernels in
+    other threads/tasks are unaffected.
+    """
+    token = _ENGINE_FACTORY.set(factory)
+    try:
+        yield
+    finally:
+        _ENGINE_FACTORY.reset(token)
 
 #: Per-problem breakdown detectors keyed by runtime op name.  A detector
 #: takes a kernel's raw ``(output, extra)`` and returns ``{batch index:
@@ -163,7 +189,8 @@ class BlockKernel:
         self.layout = Cyclic2D(self.m, self.n, self.cfg.threads)
         self.r = self.cfg.rdim
 
-        self.engine = BlockEngine(
+        engine_cls = _ENGINE_FACTORY.get() or BlockEngine
+        self.engine = engine_cls(
             device,
             threads_per_block=self.cfg.threads,
             registers_per_thread=self.cfg.registers_per_thread,

@@ -43,10 +43,14 @@ from .parameters import ModelParameters
 __all__ = [
     "OpEstimate",
     "ColumnEstimate",
+    "OpCounts",
+    "BlockCounts",
+    "COUNT_KINDS",
     "PerBlockPrediction",
     "estimate_lu_column",
     "estimate_qr_column",
     "predict_per_block",
+    "per_block_counts",
     "panel_breakdown",
 ]
 
@@ -298,6 +302,309 @@ def predict_per_block(
         dram_cycles=dram_cycles,
         flops_per_problem=_flops_for(kind, m, n, complex_dtype),
         occupancy=occ,
+    )
+
+
+# ----------------------------------------------------------------------
+# Closed-form hardware-event counts
+#
+# The cycle estimates above weight each event by a latency parameter;
+# the counts below are the *unweighted* event totals -- exactly what the
+# engine's charge_* accumulators record when the corresponding kernel in
+# ``repro.kernels.device`` runs.  ``repro.analyze.costcheck`` certifies
+# that equality over the whole kernel registry, so any kernel edit that
+# changes its cost profile must update these formulas in the same change.
+# ----------------------------------------------------------------------
+
+COUNT_KINDS = (
+    "lu",
+    "lu_pivot",
+    "qr",
+    "qr_solve",
+    "gauss_jordan",
+    "cholesky",
+    "least_squares",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class OpCounts:
+    """Hardware-event counts of one named operation (charge_* units)."""
+
+    name: str
+    #: Dependent FP ops per thread (``charge_flops`` units; FMA = 1).
+    flop_ops: float = 0.0
+    divs: int = 0
+    sqrts: int = 0
+    #: Shared words per thread (``charge_shared`` units), total and the
+    #: write subset.
+    shared: float = 0.0
+    shared_writes: float = 0.0
+    syncs: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockCounts:
+    """Closed-form static footprint of one per-block kernel launch."""
+
+    kind: str
+    m: int
+    n: int
+    config: BlockConfig
+    ops: tuple[OpCounts, ...]
+    load_bytes: float
+    store_bytes: float
+
+    @property
+    def flop_ops(self) -> float:
+        return sum(op.flop_ops for op in self.ops)
+
+    @property
+    def divs(self) -> int:
+        return sum(op.divs for op in self.ops)
+
+    @property
+    def sqrts(self) -> int:
+        return sum(op.sqrts for op in self.ops)
+
+    @property
+    def shared(self) -> float:
+        return sum(op.shared for op in self.ops)
+
+    @property
+    def shared_writes(self) -> float:
+        return sum(op.shared_writes for op in self.ops)
+
+    @property
+    def syncs(self) -> int:
+        return sum(op.syncs for op in self.ops)
+
+    @property
+    def global_bytes(self) -> float:
+        return self.load_bytes + self.store_bytes
+
+    @property
+    def shared_bytes(self) -> int:
+        """Engine scratchpad footprint: sh_col + sh_row + sh_scalar."""
+        cfg = self.config
+        words = cfg.hreg * cfg.rdim + cfg.wreg * cfg.rdim + 4
+        return 4 * words * (2 if cfg.complex_dtype else 1)
+
+    @property
+    def registers_per_thread(self) -> int:
+        return self.config.registers_per_thread
+
+
+def _count_lu_column(cfg: BlockConfig, j: int, cost: int) -> tuple[OpCounts, ...]:
+    """One LU column step: Listing 5/6 column op + Listing 7 update."""
+    n_tile = cfg.column_tile_rows(j)
+    col = OpCounts(
+        name=LU_OPS[0],
+        flop_ops=n_tile * cost,
+        divs=1,
+        shared=2 + 2 * n_tile,
+        shared_writes=2 * n_tile,
+        syncs=2,
+    )
+    trailing = OpCounts(
+        name=LU_OPS[1],
+        flop_ops=n_tile * n_tile * cost,
+        shared=2 * n_tile,
+        syncs=1,
+    )
+    return (col, trailing)
+
+
+def _count_qr_column(cfg: BlockConfig, j: int, cost: int) -> tuple[OpCounts, ...]:
+    """One Householder column: the three operations of Figure 8."""
+    n_tile = cfg.column_tile_rows(j)
+    rdim = cfg.rdim
+    form_hh = OpCounts(
+        name=QR_OPS[0],
+        # norm partials + serial reduction + scale-factor arithmetic +
+        # column scale (the sqrt and the two divides are counted apart)
+        flop_ops=(2 * n_tile + rdim + 2) * cost,
+        divs=2,
+        sqrts=1,
+        shared=n_tile + rdim + 3,
+        shared_writes=n_tile,
+        syncs=1,
+    )
+    mv = OpCounts(
+        name=QR_OPS[1],
+        flop_ops=n_tile * n_tile * cost + rdim * cost,
+        shared=n_tile + rdim + 1,
+        syncs=2,
+    )
+    rank1 = OpCounts(
+        name=QR_OPS[2],
+        flop_ops=n_tile * n_tile * cost,
+        shared=n_tile,
+        syncs=1,
+    )
+    return (form_hh, mv, rank1)
+
+
+def _qr_steps(m: int, ncols: int) -> int:
+    """Reflector columns of a Householder sweep (no tail reflector when
+    the last column has a single row)."""
+    return ncols if m > ncols else ncols - 1
+
+
+def _count_back_substitution(
+    cfg: BlockConfig, n: int, cost: int
+) -> tuple[OpCounts, ...]:
+    """Row-wise triangular solve: one divide + broadcast axpy per row."""
+    return tuple(
+        OpCounts(
+            name="Back Substitution",
+            flop_ops=cfg.column_tile_rows(i) * cost,
+            divs=1,
+            shared=2,
+            syncs=1,
+        )
+        for i in range(n - 1, -1, -1)
+    )
+
+
+def per_block_counts(
+    kind: str,
+    m: int,
+    n: int | None = None,
+    *,
+    complex_dtype: bool = False,
+) -> BlockCounts:
+    """Static hardware-event counts for an m x n per-block launch.
+
+    Mirrors every ``charge_*`` call of the matching device kernel --
+    including the augmented launch shape of the solve variants
+    (``gauss_jordan``/``qr_solve`` append the right-hand side,
+    ``least_squares`` appends it to a tall matrix) and their
+    solution-only store traffic.  ``repro.analyze.costcheck`` holds this
+    equal to the abstract interpreter's measurements.
+    """
+    n = m if n is None else n
+    if kind not in COUNT_KINDS:
+        raise ValueError(f"unknown factorization kind: {kind!r}")
+    if kind in ("lu", "lu_pivot", "cholesky", "gauss_jordan", "qr_solve") and m != n:
+        raise ValueError(f"{kind} expects square matrices, got {m}x{n}")
+    if kind in ("qr", "least_squares") and m < n:
+        raise ValueError(f"{kind} expects m >= n, got {m}x{n}")
+    cost = 2 if complex_dtype else 1
+    word = 8 if complex_dtype else 4
+
+    if kind in ("gauss_jordan", "qr_solve"):
+        cfg = block_config(n, n + 1, complex_dtype=complex_dtype)
+    elif kind == "least_squares":
+        cfg = block_config(m, n + 1, complex_dtype=complex_dtype)
+    else:
+        cfg = block_config(m, n, complex_dtype=complex_dtype)
+
+    ops: list[OpCounts] = []
+    if kind == "lu":
+        for j in range(n - 1):
+            ops.extend(_count_lu_column(cfg, j, cost))
+        load, store = m * n * word, m * n * word
+    elif kind == "lu_pivot":
+        rdim, wreg = cfg.rdim, cfg.wreg
+        for j in range(n - 1):
+            n_tile = cfg.column_tile_rows(j)
+            ops.append(
+                OpCounts(
+                    name="Pivot Search",
+                    # magnitude partials + serial max reduction + the
+                    # unscaled argmax bookkeeping op per reduction step
+                    flop_ops=n_tile * cost + rdim * cost + rdim,
+                    shared=rdim + 3,
+                    syncs=1,
+                )
+            )
+            ops.append(
+                OpCounts(
+                    name="Row Swap",
+                    shared=4 * wreg,
+                    shared_writes=2 * wreg,
+                    syncs=2,
+                )
+            )
+            ops.extend(_count_lu_column(cfg, j, cost))
+        load, store = m * n * word, m * n * word
+    elif kind == "qr":
+        for j in range(_qr_steps(m, n)):
+            ops.extend(_count_qr_column(cfg, j, cost))
+        load, store = m * n * word, m * n * word
+    elif kind == "qr_solve":
+        for j in range(_qr_steps(n, n)):
+            ops.extend(_count_qr_column(cfg, j, cost))
+        ops.extend(_count_back_substitution(cfg, n, cost))
+        load, store = n * (n + 1) * word, n * word
+    elif kind == "gauss_jordan":
+        n_tile = cfg.hreg  # rows never drop out in Gauss-Jordan
+        for _ in range(n):
+            ops.append(
+                OpCounts(
+                    name=LU_OPS[0],
+                    flop_ops=n_tile * cost,
+                    divs=1,
+                    shared=2 + 2 * n_tile,
+                    shared_writes=2 * n_tile,
+                    syncs=2,
+                )
+            )
+            ops.append(
+                OpCounts(
+                    name=LU_OPS[1],
+                    flop_ops=n_tile * n_tile * cost,
+                    shared=2 * n_tile,
+                    syncs=1,
+                )
+            )
+        load, store = n * (n + 1) * word, n * word
+    elif kind == "cholesky":
+        for j in range(n):
+            n_tile = cfg.column_tile_rows(j)
+            ops.append(
+                OpCounts(
+                    name=LU_OPS[0],
+                    flop_ops=n_tile * cost,
+                    divs=1,
+                    sqrts=1,
+                    shared=2 + n_tile,
+                    shared_writes=n_tile,
+                    syncs=2,
+                )
+            )
+            ops.append(
+                OpCounts(
+                    name="Hermitian Update",
+                    flop_ops=n_tile * n_tile * cost / 2.0,
+                    shared=n_tile,
+                    syncs=1,
+                )
+            )
+        load, store = n * n * word, n * n * word
+    else:  # least_squares
+        for j in range(_qr_steps(m, n)):
+            ops.extend(_count_qr_column(cfg, j, cost))
+        ops.extend(_count_back_substitution(cfg, n, cost))
+        if m > n:
+            ops.append(
+                OpCounts(
+                    name="Residual Norm",
+                    flop_ops=cfg.column_tile_rows(n - 1) * cost,
+                    sqrts=1,
+                )
+            )
+        load, store = m * (n + 1) * word, (n + 1) * word
+
+    return BlockCounts(
+        kind=kind,
+        m=m,
+        n=n,
+        config=cfg,
+        ops=tuple(ops),
+        load_bytes=float(load),
+        store_bytes=float(store),
     )
 
 

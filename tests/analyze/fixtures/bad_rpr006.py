@@ -1,0 +1,13 @@
+"""RPR006 golden fixture: a stale suppression on a clean line."""
+
+import numpy as np
+
+
+def bad_unused_suppression(a, b):
+    # The einsum below contracts nothing, so RPR001 has nothing to
+    # report here and the suppression is dead weight.
+    return np.einsum("bi,bi->bi", a, b)  # noqa: RPR001 -- stale
+
+
+def good_used_suppression(a, b):
+    return np.einsum("bi,bi->b", a, b)  # noqa: RPR001 -- genuinely fires

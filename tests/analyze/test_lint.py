@@ -19,6 +19,7 @@ GOLDEN = {
     "bad_rpr003.py": ("RPR003", 4),
     "bad_rpr004.py": ("RPR004", 1),
     "bad_rpr005.py": ("RPR005", 2),
+    "bad_rpr006.py": ("RPR006", 1),
 }
 
 
@@ -62,9 +63,57 @@ class TestSuppression:
         assert lint_source(src, respect_scope=False) == []
 
     def test_wrong_code_does_not_suppress(self):
+        # The wrong code neither silences RPR005 nor survives the
+        # unused-suppression audit.
         src = "y = x == 1.0  # noqa: RPR001\n"
         findings = lint_source(src, respect_scope=False)
-        assert [f.rule for f in findings] == ["RPR005"]
+        assert sorted(f.rule for f in findings) == ["RPR005", "RPR006"]
+
+
+class TestUnusedNoqa:
+    def test_used_suppression_is_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.einsum('bi,bi->b', a, b)  # noqa: RPR001 -- used\n"
+        )
+        assert lint_source(src, path="kernels/device/k.py") == []
+
+    def test_unused_suppression_is_flagged(self):
+        src = "x = a + b  # noqa: RPR001 -- nothing here\n"
+        findings = lint_source(src, path="kernels/device/k.py")
+        assert [f.rule for f in findings] == ["RPR006"]
+        assert "RPR001" in findings[0].message
+
+    def test_scope_skipped_rule_is_not_audited(self):
+        # RPR001 does not run outside kernel dirs, so the linter cannot
+        # prove the suppression stale and must leave it alone.
+        src = "x = a + b  # noqa: RPR001 -- out of scope\n"
+        assert lint_source(src, path="model/cpu_model.py") == []
+
+    def test_foreign_codes_are_ignored(self):
+        src = "x = a + b  # noqa: BLE001 -- ruff's business\n"
+        assert lint_source(src, path="kernels/device/k.py") == []
+
+    def test_bare_noqa_is_exempt(self):
+        src = "x = a + b  # noqa\n"
+        assert lint_source(src, path="kernels/device/k.py") == []
+
+    def test_rule_subset_limits_the_audit(self):
+        # RPR006 alone cannot audit RPR001 suppressions: the rule that
+        # would prove them stale never ran.
+        src = "x = a + b  # noqa: RPR001 -- unaudited\n"
+        findings = lint_source(
+            src, path="kernels/device/k.py", rules=["RPR006"]
+        )
+        assert findings == []
+        findings = lint_source(
+            src, path="kernels/device/k.py", rules=["RPR001", "RPR006"]
+        )
+        assert [f.rule for f in findings] == ["RPR006"]
+
+    def test_rpr006_can_be_suppressed_itself(self):
+        src = "x = a + b  # noqa: RPR001, RPR006 -- keep for symmetry\n"
+        assert lint_source(src, path="kernels/device/k.py") == []
 
 
 class TestScope:

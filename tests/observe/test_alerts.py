@@ -549,6 +549,7 @@ class TestDefaultSpec:
             "trace-drops",
             "serial-fallback",
             "wall-drift",
+            "costcheck-mismatch",
             "failure-burn",
         }
         burn = next(r for r in plan.rules if r.name == "failure-burn")
